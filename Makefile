@@ -1,0 +1,34 @@
+# LScatter build targets. Everything is stdlib Go; no external tools needed.
+
+GO ?= go
+
+.PHONY: all test vet bench figures examples cover clean
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) build ./... && $(GO) vet ./...
+
+# Regenerate every paper table/figure, the ablations and the validation.
+figures:
+	$(GO) run ./cmd/lscatter-bench -all
+
+# One benchmark per paper artifact plus the signal-path micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/smarthome
+	$(GO) run ./examples/continuousauth
+	$(GO) run ./examples/spectrumsurvey
+	$(GO) run ./examples/multitag
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,147 @@
+package lscatter
+
+// One benchmark per table and figure of the paper's evaluation, each wrapping
+// the corresponding reproduction runner in internal/experiments, plus
+// system-level micro-benchmarks of the hot signal path. Run them all with:
+//
+//	go test -bench=. -benchmem .
+//
+// The per-artifact benchmarks exist so "regenerate figure X" is a single
+// target with tracked cost; the Result they produce is identical to what
+// cmd/lscatter-bench prints.
+
+import (
+	"testing"
+
+	"lscatter/internal/channel"
+	"lscatter/internal/core"
+	"lscatter/internal/experiments"
+	"lscatter/internal/ltephy"
+)
+
+var benchSink *experiments.Result
+
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	runner, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("artifact %s not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		benchSink = runner(uint64(i) + 1)
+	}
+	if benchSink == nil || len(benchSink.Rows) == 0 {
+		b.Fatalf("artifact %s produced no rows", id)
+	}
+}
+
+// Table 1: excitation-signal feature matrix.
+func BenchmarkTable1Features(b *testing.B) { benchArtifact(b, "T1") }
+
+// Figure 4: the motivating spectrum measurements.
+func BenchmarkFig4aWiFiSpectrogram(b *testing.B) { benchArtifact(b, "F4a") }
+func BenchmarkFig4bLTESpectrogram(b *testing.B)  { benchArtifact(b, "F4b") }
+func BenchmarkFig4cOccupancyCDF(b *testing.B)    { benchArtifact(b, "F4c") }
+
+// Figure 8: synchronization-circuit stage outputs.
+func BenchmarkFig8SyncCircuit(b *testing.B) { benchArtifact(b, "F8") }
+
+// Figure 12: constellation rotation from the phase offset.
+func BenchmarkFig12PhaseOffset(b *testing.B) { benchArtifact(b, "F12") }
+
+// Figures 16/17: smart-home day.
+func BenchmarkFig16SmartHomeDay(b *testing.B)  { benchArtifact(b, "F16") }
+func BenchmarkFig17HomeOccupancy(b *testing.B) { benchArtifact(b, "F17") }
+
+// Figure 18: throughput vs LTE bandwidth.
+func BenchmarkFig18Bandwidth(b *testing.B) { benchArtifact(b, "F18") }
+
+// Figure 19: home-distance matrix.
+func BenchmarkFig19DistanceMatrix(b *testing.B) { benchArtifact(b, "F19") }
+
+// Figures 21/22: shopping mall day.
+func BenchmarkFig21MallDay(b *testing.B)       { benchArtifact(b, "F21") }
+func BenchmarkFig22MallOccupancy(b *testing.B) { benchArtifact(b, "F22") }
+
+// Figures 23/24: mall distance sweeps.
+func BenchmarkFig23MallDistance(b *testing.B) { benchArtifact(b, "F23") }
+func BenchmarkFig24MallBER(b *testing.B)      { benchArtifact(b, "F24") }
+
+// Figures 26/27: outdoor day.
+func BenchmarkFig26OutdoorDay(b *testing.B)       { benchArtifact(b, "F26") }
+func BenchmarkFig27OutdoorOccupancy(b *testing.B) { benchArtifact(b, "F27") }
+
+// Figures 28/29: outdoor distance sweeps.
+func BenchmarkFig28OutdoorDistance(b *testing.B) { benchArtifact(b, "F28") }
+func BenchmarkFig29OutdoorBER(b *testing.B)      { benchArtifact(b, "F29") }
+
+// Figure 30: 40 dBm range frontier.
+func BenchmarkFig30RangeFrontier(b *testing.B) { benchArtifact(b, "F30") }
+
+// Figure 31: synchronization accuracy CDF.
+func BenchmarkFig31SyncAccuracy(b *testing.B) { benchArtifact(b, "F31") }
+
+// Figure 32: impact on existing LTE (bit-true chain).
+func BenchmarkFig32LTEImpact(b *testing.B) { benchArtifact(b, "F32") }
+
+// Figure 33b: continuous-authentication update rate.
+func BenchmarkFig33bAuthUpdateRate(b *testing.B) { benchArtifact(b, "F33b") }
+
+// §4.8: the power budget table.
+func BenchmarkPowerBudget(b *testing.B) { benchArtifact(b, "P48") }
+
+// Ablations of the design choices called out in DESIGN.md.
+func BenchmarkAblationRefinement(b *testing.B)   { benchArtifact(b, "A1") }
+func BenchmarkAblationSideband(b *testing.B)     { benchArtifact(b, "A2") }
+func BenchmarkAblationPSSBoost(b *testing.B)     { benchArtifact(b, "A3") }
+func BenchmarkAblationOversampling(b *testing.B) { benchArtifact(b, "A4") }
+func BenchmarkAblationCoding(b *testing.B)       { benchArtifact(b, "A5") }
+
+// Model-vs-chain cross validation.
+func BenchmarkValidationModelVsChain(b *testing.B) { benchArtifact(b, "V1") }
+
+// Extensions: coverage-map analog, interference analysis, multi-tag scaling.
+func BenchmarkFig3Coverage(b *testing.B)    { benchArtifact(b, "F3") }
+func BenchmarkInterferencePSD(b *testing.B) { benchArtifact(b, "I1") }
+func BenchmarkMultiTagScaling(b *testing.B) { benchArtifact(b, "M1") }
+
+// System micro-benchmarks: the end-to-end chain itself.
+
+var reportSink core.LinkReport
+
+// BenchmarkExactChainSubframe1_4MHz measures the bit-true pipeline: one
+// 1.4 MHz subframe through eNodeB -> tag -> channel -> UE (LTE decode,
+// reference regeneration, backscatter demodulation).
+func BenchmarkExactChainSubframe1_4MHz(b *testing.B) {
+	cfg := core.DefaultLinkConfig(ltephy.BW1_4)
+	cfg.Mode = core.Exact
+	cfg.Subframes = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		reportSink = core.Run(cfg)
+	}
+}
+
+// BenchmarkExactChainSubframe5MHz is the same chain at 5 MHz.
+func BenchmarkExactChainSubframe5MHz(b *testing.B) {
+	cfg := core.DefaultLinkConfig(ltephy.BW5)
+	cfg.Mode = core.Exact
+	cfg.Subframes = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		reportSink = core.Run(cfg)
+	}
+}
+
+// BenchmarkSemiAnalyticLink measures the closed-form evaluator used by the
+// parameter sweeps.
+func BenchmarkSemiAnalyticLink(b *testing.B) {
+	cfg := core.DefaultLinkConfig(ltephy.BW20)
+	cfg.TagToUEM = channel.FeetToMeters(100)
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		reportSink = core.Run(cfg)
+	}
+}

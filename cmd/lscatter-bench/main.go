@@ -1,0 +1,47 @@
+// Command lscatter-bench regenerates the paper's tables and figures from the
+// simulated LScatter system.
+//
+// Usage:
+//
+//	lscatter-bench -list
+//	lscatter-bench -id F23 [-seed 7]
+//	lscatter-bench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lscatter/internal/experiments"
+)
+
+func main() {
+	var (
+		id   = flag.String("id", "", "artifact to regenerate (e.g. T1, F4c, F16, F23, F32, P48)")
+		all  = flag.Bool("all", false, "regenerate every artifact")
+		list = flag.Bool("list", false, "list artifact IDs")
+		seed = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+	case *all:
+		for _, res := range experiments.All(*seed) {
+			fmt.Println(res.Render())
+		}
+	case *id != "":
+		runner, ok := experiments.Lookup(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown artifact %q; known: %s\n", *id, strings.Join(experiments.IDs(), ", "))
+			os.Exit(2)
+		}
+		fmt.Println(runner(*seed).Render())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

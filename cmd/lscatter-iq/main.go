@@ -1,0 +1,146 @@
+// Command lscatter-iq exports simulated waveforms as raw IQ files
+// (interleaved little-endian complex float32, the GNU Radio / inspectrum
+// convention), so the signals this repository synthesizes can be examined
+// with standard SDR tooling. It can also summarize an existing IQ file.
+//
+//	lscatter-iq -out lte.cf32 -bw 5 -subframes 10            # clean downlink
+//	lscatter-iq -out hybrid.cf32 -bw 5 -subframes 10 -tag    # with a tag
+//	lscatter-iq -in hybrid.cf32 -rate 15.36e6                # inspect
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"lscatter/internal/dsp"
+	"lscatter/internal/enodeb"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/rng"
+	"lscatter/internal/tag"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write a synthesized capture to this file")
+		in        = flag.String("in", "", "summarize an existing cf32 file")
+		bwStr     = flag.String("bw", "5", "LTE bandwidth in MHz")
+		subframes = flag.Int("subframes", 10, "capture length in ms")
+		withTag   = flag.Bool("tag", false, "include an LScatter tag reflection (-30 dB)")
+		rate      = flag.Float64("rate", 0, "sample rate of -in captures (Hz), for reporting")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *in != "":
+		if err := summarize(*in, *rate); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *out != "":
+		if err := synthesize(*out, *bwStr, *subframes, *withTag, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func synthesize(path, bwStr string, subframes int, withTag bool, seed uint64) error {
+	var bw ltephy.Bandwidth
+	found := false
+	for _, b := range ltephy.Bandwidths {
+		if bwStr+"MHz" == b.String() {
+			bw, found = b, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown bandwidth %q", bwStr)
+	}
+	cfg := enodeb.DefaultConfig(bw)
+	cfg.Seed = seed
+	enb := enodeb.New(cfg)
+	var mod *tag.Modulator
+	if withTag {
+		mod = tag.NewModulator(tag.ModConfig{Params: cfg.Params})
+		mod.QueueBits(rng.New(seed + 1).Bits(make([]byte, subframes*12*mod.PerSymbolBits())))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	total := 0
+	for i := 0; i < subframes; i++ {
+		sf := enb.NextSubframe()
+		buf := sf.Samples
+		if mod != nil {
+			reflected, _ := mod.ModulateSubframe(sf.Samples, sf.Index, sf.Index == 0 || sf.Index == 5)
+			buf = make([]complex128, len(sf.Samples))
+			g := math.Pow(10, -30.0/20)
+			for j := range buf {
+				buf[j] = sf.Samples[j] + reflected[j]*complex(g, 0)
+			}
+		}
+		for _, v := range buf {
+			if err := binary.Write(w, binary.LittleEndian, float32(real(v))); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, float32(imag(v))); err != nil {
+				return err
+			}
+		}
+		total += len(buf)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d samples (%d ms at %.2f Msps) to %s\n",
+		total, subframes, cfg.Params.SampleRate()/1e6, path)
+	fmt.Printf("open with: inspectrum -r %.0f %s\n", cfg.Params.SampleRate(), path)
+	return nil
+}
+
+func summarize(path string, rate float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var samples []complex128
+	for {
+		var re, im float32
+		if err := binary.Read(r, binary.LittleEndian, &re); err != nil {
+			break
+		}
+		if err := binary.Read(r, binary.LittleEndian, &im); err != nil {
+			break
+		}
+		samples = append(samples, complex(float64(re), float64(im)))
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("%s: no complete cf32 samples", path)
+	}
+	pw := dsp.Power(samples)
+	peak := 0.0
+	for _, v := range samples {
+		if a := real(v)*real(v) + imag(v)*imag(v); a > peak {
+			peak = a
+		}
+	}
+	fmt.Printf("%s: %d samples", path, len(samples))
+	if rate > 0 {
+		fmt.Printf(" (%.2f ms at %.2f Msps)", float64(len(samples))/rate*1e3, rate/1e6)
+	}
+	fmt.Printf("\nmean power %.3g (%.1f dBFS-ish), PAPR %.1f dB\n",
+		pw, 10*math.Log10(pw), 10*math.Log10(peak/pw))
+	return nil
+}

@@ -1,0 +1,20 @@
+// Package lscatter is a from-scratch Go reproduction of "Leveraging Ambient
+// LTE Traffic for Ubiquitous Passive Communication" (SIGCOMM 2020): the
+// LScatter LTE backscatter system, every substrate it rides on (LTE downlink
+// PHY, wireless channel, ambient-traffic models), the baselines it is
+// compared against, and a benchmark harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// Start with the README, then:
+//
+//   - internal/core — the end-to-end link facade (exact and semi-analytic)
+//   - internal/ltephy, internal/enodeb — the LTE downlink substrate
+//   - internal/tag, internal/ue — the paper's contribution: sync circuit,
+//     basic-timing-unit modulator, and the hybrid-signal demodulator
+//   - internal/experiments — per-figure reproduction runners
+//   - examples/ — runnable demonstrations
+//
+// The root-level benchmarks in bench_test.go regenerate each paper artifact:
+//
+//	go test -bench=Fig -benchmem .
+package lscatter

@@ -1,0 +1,54 @@
+// Smart home: a suite of battery-free sensors shares one LScatter link by
+// TDMA over the continuous LTE excitation, and the same telemetry demand is
+// priced against a WiFi-backscatter deployment whose excitation comes and
+// goes with the household's WiFi activity.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"lscatter/internal/app/sensornet"
+	"lscatter/internal/baseline"
+	"lscatter/internal/core"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/traffic"
+)
+
+func main() {
+	link := core.DefaultLinkConfig(ltephy.BW5)
+	rep := core.Run(link)
+	fmt.Printf("smart-home LScatter link: %.2f Mbps goodput, BER %.2g\n\n",
+		rep.ThroughputBps/1e6, rep.BER)
+
+	sensors := sensornet.DefaultSensors()
+	net := sensornet.NewNetwork(link, sensors...)
+	res := net.Simulate(30, 7)
+
+	fmt.Println("30 s of telemetry over the shared LTE excitation:")
+	names := make([]string, 0, len(res.PerSensor))
+	for n := range res.PerSensor {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-12s %6.2f samples/s delivered\n", n, res.PerSensor[n])
+	}
+	fmt.Printf("mean queueing latency: %.1f ms, link utilization: %.3f%%, drops: %.2f%%\n\n",
+		res.MeanLatency*1e3, 100*res.Utilization, 100*res.DropRate)
+
+	// The same home, on WiFi backscatter: availability follows the ambient
+	// WiFi activity hour by hour.
+	occ := traffic.NewModel(traffic.WiFi, traffic.Home, 7)
+	w := baseline.DefaultWiFiBackscatter()
+	fmt.Println("WiFi backscatter alternative (goodput by hour):")
+	for _, h := range []int{4, 10, 16, 20} {
+		var sum float64
+		const n = 30
+		for i := 0; i < n; i++ {
+			sum += w.Evaluate(occ.Sample(float64(h)), occ.WiFiUsableFraction()).ThroughputBps
+		}
+		fmt.Printf("  %02d:00  %8.1f Kbps\n", h, sum/n/1e3)
+	}
+	fmt.Println("\nthe LTE excitation never goes away — that is Observation 1 in practice")
+}

@@ -1,0 +1,3 @@
+module lscatter
+
+go 1.22

@@ -1,0 +1,105 @@
+package auth
+
+import (
+	"math"
+	"testing"
+
+	"lscatter/internal/channel"
+)
+
+func TestEMGWindowStatistics(t *testing.T) {
+	src := NewEMGSource(1)
+	w := src.Window(4000)
+	if len(w) != 4000 {
+		t.Fatalf("window length %d", len(w))
+	}
+	f := Extract(w)
+	if f.RMS <= 0 || f.MAV <= 0 {
+		t.Fatalf("degenerate features: %+v", f)
+	}
+	if f.ZeroCross <= 0.05 || f.ZeroCross >= 0.9 {
+		t.Fatalf("zero-crossing rate %v implausible for band-limited noise", f.ZeroCross)
+	}
+}
+
+func TestClassifierAcceptsOwner(t *testing.T) {
+	src := NewEMGSource(42)
+	c := Train(src, 20, 1000)
+	accepted := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		if c.Authenticate(Extract(src.Window(1000))) {
+			accepted++
+		}
+	}
+	if accepted < trials*8/10 {
+		t.Fatalf("owner accepted only %d/%d", accepted, trials)
+	}
+}
+
+func TestClassifierRejectsImpostors(t *testing.T) {
+	owner := NewEMGSource(42)
+	c := Train(owner, 20, 1000)
+	rejected, total := 0, 0
+	for id := uint64(100); id < 130; id++ {
+		imp := NewEMGSource(id)
+		for i := 0; i < 5; i++ {
+			total++
+			if !c.Authenticate(Extract(imp.Window(1000))) {
+				rejected++
+			}
+		}
+	}
+	if rejected < total*6/10 {
+		t.Fatalf("impostors rejected only %d/%d", rejected, total)
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	src := NewEMGSource(7)
+	w := src.Window(256)
+	got, ok := FrameRoundTrip(w, 1.0)
+	if !ok {
+		t.Fatal("CRC failed on a clean frame")
+	}
+	if len(got) != len(w) {
+		t.Fatalf("recovered %d samples of %d", len(got), len(w))
+	}
+	var maxErr float64
+	for i := range w {
+		if e := math.Abs(got[i] - w[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1.0/32+1e-9 {
+		t.Fatalf("quantization error %v exceeds one LSB", maxErr)
+	}
+}
+
+func TestUpdateRateMatchesFig33b(t *testing.T) {
+	cfg := DefaultConfig()
+	// Fig 33b: ~136 sps at 2 ft, down to ~5 sps at 40 ft.
+	near := UpdateRate(cfg, channel.FeetToMeters(2))
+	if near < 120 || near > 137 {
+		t.Fatalf("update rate at 2 ft = %v, want ~136", near)
+	}
+	far := UpdateRate(cfg, channel.FeetToMeters(40))
+	if far < 1 || far > 40 {
+		t.Fatalf("update rate at 40 ft = %v, want a few sps", far)
+	}
+	if far >= near {
+		t.Fatal("update rate did not decay with distance")
+	}
+}
+
+func TestUpdateRateMonotone(t *testing.T) {
+	cfg := DefaultConfig()
+	prev := math.Inf(1)
+	for _, ft := range []float64{2, 8, 16, 24, 32, 40} {
+		r := UpdateRate(cfg, channel.FeetToMeters(ft))
+		if r > prev+1e-9 {
+			t.Fatalf("update rate rose at %v ft", ft)
+		}
+		prev = r
+	}
+}

@@ -1,0 +1,122 @@
+package sensornet
+
+import (
+	"testing"
+
+	"lscatter/internal/channel"
+	"lscatter/internal/core"
+	"lscatter/internal/ltephy"
+)
+
+func homeLink() core.LinkConfig {
+	return core.DefaultLinkConfig(ltephy.BW5)
+}
+
+func TestAllSensorsDeliveredAtHomeRange(t *testing.T) {
+	n := NewNetwork(homeLink(), DefaultSensors()...)
+	rep := n.Simulate(20, 1)
+	for name, rate := range rep.PerSensor {
+		want := map[string]float64{
+			"thermostat": 1, "motion": 20, "air-quality": 2, "door": 0.5, "power-meter": 10,
+		}[name]
+		if rate < want*0.9 || rate > want*1.1 {
+			t.Errorf("%s delivered %v/s, want ~%v", name, rate, want)
+		}
+	}
+	if rep.DropRate > 0.01 {
+		t.Fatalf("drop rate %v at close range", rep.DropRate)
+	}
+}
+
+func TestLatencyBoundedByTDMA(t *testing.T) {
+	n := NewNetwork(homeLink(), DefaultSensors()...)
+	rep := n.Simulate(20, 2)
+	// Mean slot wait ~ (numSensors/2)*5 ms.
+	if rep.MeanLatency <= 0 || rep.MeanLatency > 0.1 {
+		t.Fatalf("mean latency %v s", rep.MeanLatency)
+	}
+}
+
+func TestUtilizationTiny(t *testing.T) {
+	// A handful of IoT sensors barely scratches a multi-Mbps link — the
+	// headroom the paper's throughput buys.
+	n := NewNetwork(homeLink(), DefaultSensors()...)
+	rep := n.Simulate(20, 3)
+	if rep.Utilization > 0.01 {
+		t.Fatalf("utilization %v, want ~0", rep.Utilization)
+	}
+	if rep.DeliveredBps <= 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestDeadLinkDeliversNothing(t *testing.T) {
+	link := homeLink()
+	link.TagToUEM = channel.FeetToMeters(5000)
+	link.ENodeBToUEM = channel.FeetToMeters(5003)
+	n := NewNetwork(link, DefaultSensors()...)
+	rep := n.Simulate(5, 4)
+	if rep.DeliveredBps != 0 {
+		t.Fatalf("delivered %v bps over a dead link", rep.DeliveredBps)
+	}
+	if rep.DropRate == 0 {
+		t.Fatal("queues never overflowed on a dead link")
+	}
+}
+
+func TestHighRateSensorSaturatesItsSlots(t *testing.T) {
+	// One sensor demanding more than its TDMA share must drop while others
+	// still deliver.
+	link := homeLink()
+	hog := &Sensor{Name: "camera", RateHz: 100000, BitsPerSample: 512}
+	slow := &Sensor{Name: "door", RateHz: 1, BitsPerSample: 64}
+	n := NewNetwork(link, hog, slow)
+	rep := n.Simulate(10, 5)
+	if rep.PerSensor["door"] < 0.8 {
+		t.Fatalf("door starved: %v/s", rep.PerSensor["door"])
+	}
+	if rep.DropRate == 0 {
+		t.Fatal("overloaded sensor never dropped")
+	}
+	if rep.Utilization < 0.3 {
+		t.Fatalf("utilization %v with a saturating sensor", rep.Utilization)
+	}
+}
+
+func TestReliableModeRecoversLossyLink(t *testing.T) {
+	// At a distance where frame loss is substantial, reliable mode delivers
+	// nearly everything while unreliable mode visibly loses samples.
+	link := core.DefaultLinkConfig(ltephy.BW5)
+	link.TagToUEM = channel.FeetToMeters(150)
+	link.ENodeBToUEM = channel.FeetToMeters(153)
+	rep := core.Run(link)
+	if rep.BER < 3e-3 || rep.BER > 9e-3 {
+		t.Skipf("link BER %v outside the lossy test regime", rep.BER)
+	}
+	sensors := func() []*Sensor {
+		return []*Sensor{{Name: "meter", RateHz: 10, BitsPerSample: 512}}
+	}
+	lossy := NewNetwork(link, sensors()...)
+	lr := lossy.Simulate(30, 6)
+	reliable := NewNetwork(link, sensors()...)
+	reliable.Reliable = true
+	rr := reliable.Simulate(30, 6)
+	if lr.PerSensor["meter"] > 9.5 {
+		t.Fatalf("unreliable link delivered %v/s — not lossy enough to test", lr.PerSensor["meter"])
+	}
+	if rr.PerSensor["meter"] < 9.5 {
+		t.Fatalf("reliable mode delivered only %v/s of 10", rr.PerSensor["meter"])
+	}
+	if rr.PerSensor["meter"] <= lr.PerSensor["meter"] {
+		t.Fatal("reliable mode did not improve delivery")
+	}
+}
+
+func TestPanicsOnZeroPayload(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero payload accepted")
+		}
+	}()
+	NewNetwork(homeLink(), &Sensor{Name: "bad", RateHz: 1})
+}

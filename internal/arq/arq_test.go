@@ -1,0 +1,227 @@
+package arq
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"lscatter/internal/rng"
+)
+
+func payloads(r *rng.Source, n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = r.Bits(make([]byte, size))
+	}
+	return out
+}
+
+func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		f := Frame{Seq: r.Intn(256), Payload: r.Bits(make([]byte, r.Intn(100)))}
+		got, ok := DecodeFrame(f.Encode())
+		if !ok || got.Seq != f.Seq || len(got.Payload) != len(f.Payload) {
+			return false
+		}
+		for i := range f.Payload {
+			if got.Payload[i] != f.Payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameDecodeRejectsCorruption(t *testing.T) {
+	f := Frame{Seq: 42, Payload: []byte{1, 0, 1, 1}}
+	enc := f.Encode()
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 1
+		if _, ok := DecodeFrame(bad); ok {
+			t.Fatalf("corruption at bit %d accepted", i)
+		}
+	}
+}
+
+func TestLosslessDelivery(t *testing.T) {
+	r := rng.New(1)
+	want := payloads(r, 50, 32)
+	s := NewSender(8, 4)
+	rx := NewReceiver(8)
+	for _, p := range want {
+		s.Queue(p)
+	}
+	ok := func() bool { return true }
+	st, got := Run(s, rx, ok, ok, len(want), 10000)
+	if st.Delivered != len(want) {
+		t.Fatalf("delivered %d of %d", st.Delivered, len(want))
+	}
+	if st.Transmissions != len(want) {
+		t.Fatalf("lossless run used %d transmissions for %d frames", st.Transmissions, len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("payload %d corrupted", i)
+			}
+		}
+	}
+}
+
+func TestInOrderDeliveryUnderHeavyLoss(t *testing.T) {
+	r := rng.New(2)
+	want := payloads(r, 200, 16)
+	s := NewSender(16, 6)
+	rx := NewReceiver(16)
+	for _, p := range want {
+		s.Queue(p)
+	}
+	loss := rng.New(3)
+	dataOK := func() bool { return loss.Float64() > 0.3 }
+	ackOK := func() bool { return loss.Float64() > 0.2 }
+	st, got := Run(s, rx, dataOK, ackOK, len(want), 100000)
+	if st.Delivered != len(want) {
+		t.Fatalf("delivered %d of %d in %d slots", st.Delivered, len(want), st.Slots)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("payload %d corrupted or out of order", i)
+			}
+		}
+	}
+	if st.Efficiency < 0.3 || st.Efficiency > 0.75 {
+		t.Fatalf("efficiency %v implausible for 30%%/20%% loss", st.Efficiency)
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	// More payloads than the sequence space: the window must wrap cleanly.
+	r := rng.New(4)
+	want := payloads(r, 700, 8)
+	s := NewSender(32, 5)
+	rx := NewReceiver(32)
+	for _, p := range want {
+		s.Queue(p)
+	}
+	loss := rng.New(5)
+	dataOK := func() bool { return loss.Float64() > 0.1 }
+	st, got := Run(s, rx, dataOK, func() bool { return true }, len(want), 200000)
+	if st.Delivered != len(want) {
+		t.Fatalf("delivered %d of %d", st.Delivered, len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("payload %d wrong after wraparound", i)
+			}
+		}
+	}
+}
+
+func TestLostAcksCauseDuplicatesNotCorruption(t *testing.T) {
+	r := rng.New(6)
+	want := payloads(r, 100, 8)
+	s := NewSender(8, 3)
+	rx := NewReceiver(8)
+	for _, p := range want {
+		s.Queue(p)
+	}
+	loss := rng.New(7)
+	st, got := Run(s, rx,
+		func() bool { return true },
+		func() bool { return loss.Float64() > 0.5 }, // half the acks vanish
+		len(want), 100000)
+	if st.Delivered != len(want) {
+		t.Fatalf("delivered %d of %d", st.Delivered, len(want))
+	}
+	if rx.Duplicates == 0 {
+		t.Fatal("no duplicates despite 50% ack loss")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("duplicate deliveries reached the application: %d", len(got))
+	}
+}
+
+func TestWindowStallsWithoutAcks(t *testing.T) {
+	s := NewSender(4, 1000)
+	for i := 0; i < 20; i++ {
+		s.Queue([]byte{1})
+	}
+	sent := 0
+	for i := 0; i < 100; i++ {
+		s.Tick()
+		if s.NextFrame() != nil {
+			sent++
+		}
+	}
+	if sent != 4 {
+		t.Fatalf("sent %d fresh frames with window 4 and no acks", sent)
+	}
+}
+
+func TestRetransmissionAfterTimeout(t *testing.T) {
+	s := NewSender(4, 3)
+	s.Queue([]byte{1, 0})
+	f1 := s.NextFrame()
+	if f1 == nil {
+		t.Fatal("no first transmission")
+	}
+	for i := 0; i < 2; i++ {
+		s.Tick()
+		if s.NextFrame() != nil {
+			t.Fatal("retransmitted before timeout")
+		}
+	}
+	s.Tick()
+	f2 := s.NextFrame()
+	if f2 == nil || f2.Seq != f1.Seq {
+		t.Fatal("no retransmission after timeout")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, tc := range []struct{ w, to int }{{0, 5}, {MaxWindow + 1, 5}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSender(%d,%d) did not panic", tc.w, tc.to)
+				}
+			}()
+			NewSender(tc.w, tc.to)
+		}()
+	}
+}
+
+func TestEfficiencyImprovesWithLowerLoss(t *testing.T) {
+	run := func(lossP float64) float64 {
+		r := rng.New(11)
+		s := NewSender(16, 6)
+		rx := NewReceiver(16)
+		for _, p := range payloads(r, 150, 8) {
+			s.Queue(p)
+		}
+		loss := rng.New(13)
+		st, _ := Run(s, rx, func() bool { return loss.Float64() > lossP }, func() bool { return true }, 150, 100000)
+		return st.Efficiency
+	}
+	if e1, e2 := run(0.05), run(0.4); e1 <= e2 {
+		t.Fatalf("efficiency at 5%% loss (%v) not above 40%% loss (%v)", e1, e2)
+	}
+}
+
+func ExampleRun() {
+	s := NewSender(8, 4)
+	r := NewReceiver(8)
+	for i := 0; i < 3; i++ {
+		s.Queue([]byte{byte(i), 1})
+	}
+	st, delivered := Run(s, r, func() bool { return true }, func() bool { return true }, 3, 100)
+	fmt.Println(st.Delivered, len(delivered), st.Efficiency)
+	// Output: 3 3 1
+}

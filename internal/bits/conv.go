@@ -1,0 +1,167 @@
+package bits
+
+import "math"
+
+// ConvCode is the LTE tail-biting-style convolutional code reduced to a
+// zero-terminated rate-1/3 (optionally punctured to 1/2) code with
+// constraint length 7 and the standard generator polynomials
+// G0=133, G1=171, G2=165 (octal). Decoding is hard- or soft-decision Viterbi.
+type ConvCode struct {
+	rate  int // output bits per input bit before puncturing: 3
+	gens  []uint32
+	punct []bool // puncturing pattern over the rate-3 output, true=keep
+	kept  int    // kept bits per pattern period
+}
+
+const constraintLen = 7
+
+// NewConvCodeR13 returns the rate-1/3 K=7 code.
+func NewConvCodeR13() *ConvCode {
+	return &ConvCode{rate: 3, gens: []uint32{0o133, 0o171, 0o165}, punct: []bool{true, true, true}, kept: 3}
+}
+
+// NewConvCodeR12 returns the K=7 code punctured to rate 1/2 (keeps G0 and G1
+// of every triplet).
+func NewConvCodeR12() *ConvCode {
+	return &ConvCode{rate: 3, gens: []uint32{0o133, 0o171, 0o165}, punct: []bool{true, true, false}, kept: 2}
+}
+
+// Rate returns (input bits, output bits) per pattern period.
+func (c *ConvCode) Rate() (in, out int) { return 1, c.kept }
+
+// EncodedLen returns the number of coded bits produced for n input bits
+// (including the K-1 zero tail).
+func (c *ConvCode) EncodedLen(n int) int { return (n + constraintLen - 1) * c.kept }
+
+// Encode convolutionally encodes b (appending a K-1 zero tail to terminate
+// the trellis) and returns the punctured coded bits.
+func (c *ConvCode) Encode(b []byte) []byte {
+	out := make([]byte, 0, c.EncodedLen(len(b)))
+	var state uint32 // shift register, newest bit in LSB position 6..0
+	emit := func(bit byte) {
+		state = (state<<1 | uint32(bit)) & 0x7f
+		for g := 0; g < c.rate; g++ {
+			if !c.punct[g] {
+				continue
+			}
+			v := state & c.gens[g]
+			// parity of v
+			v ^= v >> 4
+			v ^= v >> 2
+			v ^= v >> 1
+			out = append(out, byte(v&1))
+		}
+	}
+	for _, bit := range b {
+		emit(bit & 1)
+	}
+	for i := 0; i < constraintLen-1; i++ {
+		emit(0)
+	}
+	return out
+}
+
+// Decode runs hard-decision Viterbi over coded bits produced by Encode and
+// returns the recovered n information bits (n = len(coded)/kept - (K-1)).
+// Invalid lengths return nil.
+func (c *ConvCode) Decode(coded []byte) []byte {
+	llr := make([]float64, len(coded))
+	for i, b := range coded {
+		if b&1 == 1 {
+			llr[i] = -1 // bit 1 → negative LLR convention
+		} else {
+			llr[i] = 1
+		}
+	}
+	return c.DecodeSoft(llr)
+}
+
+// DecodeSoft runs soft-decision Viterbi decoding. llr[i] > 0 means coded bit
+// i is more likely 0; magnitude is confidence. Returns the information bits
+// or nil if the length is not a whole number of steps.
+func (c *ConvCode) DecodeSoft(llr []float64) []byte {
+	if len(llr)%c.kept != 0 {
+		return nil
+	}
+	steps := len(llr) / c.kept
+	n := steps - (constraintLen - 1)
+	if n <= 0 {
+		return nil
+	}
+	const numStates = 1 << (constraintLen - 1) // 64
+	// Precompute expected outputs for each (state, input).
+	type branch struct {
+		next uint32
+		out  []float64 // expected +1/-1 per kept bit (LLR sign convention)
+	}
+	branches := make([][2]branch, numStates)
+	for s := uint32(0); s < numStates; s++ {
+		for in := uint32(0); in < 2; in++ {
+			reg := (s<<1 | in) & 0x7f
+			var outs []float64
+			for g := 0; g < c.rate; g++ {
+				if !c.punct[g] {
+					continue
+				}
+				v := reg & c.gens[g]
+				v ^= v >> 4
+				v ^= v >> 2
+				v ^= v >> 1
+				if v&1 == 1 {
+					outs = append(outs, -1)
+				} else {
+					outs = append(outs, 1)
+				}
+			}
+			branches[s][in] = branch{next: reg & (numStates - 1), out: outs}
+		}
+	}
+	neg := math.Inf(-1)
+	metric := make([]float64, numStates)
+	next := make([]float64, numStates)
+	for i := range metric {
+		metric[i] = neg
+	}
+	metric[0] = 0
+	// survivor[t][state] = (prevState<<1)|inputBit
+	survivor := make([][]uint16, steps)
+	for t := 0; t < steps; t++ {
+		survivor[t] = make([]uint16, numStates)
+		for i := range next {
+			next[i] = neg
+		}
+		sym := llr[t*c.kept : (t+1)*c.kept]
+		for s := uint32(0); s < numStates; s++ {
+			if metric[s] == neg {
+				continue
+			}
+			maxIn := uint32(1)
+			if t >= n {
+				maxIn = 0 // tail: only zero inputs
+			}
+			for in := uint32(0); in <= maxIn; in++ {
+				br := &branches[s][in]
+				m := metric[s]
+				for k, exp := range br.out {
+					m += exp * sym[k]
+				}
+				if m > next[br.next] {
+					next[br.next] = m
+					survivor[t][br.next] = uint16(s<<1 | in)
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+	// Trellis is zero-terminated: trace back from state 0.
+	out := make([]byte, n)
+	state := uint32(0)
+	for t := steps - 1; t >= 0; t-- {
+		sv := survivor[t][state]
+		if t < n {
+			out[t] = byte(sv & 1)
+		}
+		state = uint32(sv >> 1)
+	}
+	return out
+}

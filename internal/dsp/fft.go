@@ -1,0 +1,243 @@
+// Package dsp implements the signal-processing primitives the simulator is
+// built on: FFTs for OFDM modulation/demodulation and fast correlation, FIR
+// and RC filters for the tag's analog front end, window functions and a
+// short-time Fourier transform for the spectrogram figures.
+//
+// Everything operates on []complex128 baseband samples. Hot paths accept
+// destination slices so callers can reuse buffers (gopacket-style zero-copy
+// decoding applied to sample streams).
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Plan holds the precomputed state to transform length-N complex vectors.
+// Power-of-two sizes use an iterative radix-2 Cooley-Tukey kernel; any other
+// size (LTE's 15 MHz bandwidth needs N=1536) falls back to Bluestein's
+// chirp-z algorithm built on a padded power-of-two transform.
+//
+// A Plan is safe for concurrent use: all retained state is read-only after
+// construction and scratch buffers are allocated per call... except the
+// scratch-free fast paths, which write only to caller-provided slices.
+type Plan struct {
+	n       int
+	pow2    bool
+	logN    uint
+	perm    []int        // bit-reversal permutation (pow2 only)
+	twiddle []complex128 // stage twiddles, forward direction (pow2 only)
+	// Bluestein state (non-pow2 only)
+	m     int          // padded size, power of two >= 2n-1
+	chirp []complex128 // exp(-i*pi*k^2/n)
+	bfft  []complex128 // FFT of the zero-padded conjugate chirp
+	sub   *Plan        // power-of-two subplan of size m
+}
+
+var (
+	planMu    sync.Mutex
+	planCache = map[int]*Plan{}
+)
+
+// PlanFor returns a cached Plan for size n, building it on first use.
+func PlanFor(n int) *Plan {
+	planMu.Lock()
+	defer planMu.Unlock()
+	if p, ok := planCache[n]; ok {
+		return p
+	}
+	p := NewPlan(n)
+	planCache[n] = p
+	return p
+}
+
+// NewPlan builds a transform plan for length n. It panics if n < 1.
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic(fmt.Sprintf("dsp: invalid FFT size %d", n))
+	}
+	p := &Plan{n: n}
+	if n&(n-1) == 0 {
+		p.pow2 = true
+		p.logN = uint(bits.TrailingZeros(uint(n)))
+		p.perm = bitReversePerm(n)
+		p.twiddle = make([]complex128, n/2)
+		for k := 0; k < n/2; k++ {
+			angle := -2 * math.Pi * float64(k) / float64(n)
+			p.twiddle[k] = complex(math.Cos(angle), math.Sin(angle))
+		}
+		return p
+	}
+	// Bluestein
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	p.m = m
+	p.sub = NewPlan(m)
+	p.chirp = make([]complex128, n)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		// Use k^2 mod 2n to avoid float blow-up for large k.
+		idx := (int64(k) * int64(k)) % int64(2*n)
+		angle := -math.Pi * float64(idx) / float64(n)
+		p.chirp[k] = complex(math.Cos(angle), math.Sin(angle))
+	}
+	b[0] = complex(1, 0)
+	for k := 1; k < n; k++ {
+		c := cmplxConj(p.chirp[k])
+		b[k] = c
+		b[m-k] = c
+	}
+	p.bfft = make([]complex128, m)
+	p.sub.forwardPow2(p.bfft, b)
+	return p
+}
+
+func cmplxConj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+func bitReversePerm(n int) []int {
+	logN := uint(bits.TrailingZeros(uint(n)))
+	perm := make([]int, n)
+	for i := 0; i < n; i++ {
+		perm[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - int(logN)))
+	}
+	return perm
+}
+
+// Size returns the transform length.
+func (p *Plan) Size() int { return p.n }
+
+// Forward computes the unnormalized DFT of src into dst:
+// dst[k] = sum_n src[n] * exp(-2*pi*i*n*k/N). dst and src must both have
+// length N; dst may alias src.
+func (p *Plan) Forward(dst, src []complex128) {
+	p.checkLen(dst, src)
+	if p.pow2 {
+		p.forwardPow2(dst, src)
+		return
+	}
+	p.bluestein(dst, src, false)
+}
+
+// Inverse computes the normalized inverse DFT of src into dst:
+// dst[n] = (1/N) * sum_k src[k] * exp(+2*pi*i*n*k/N). dst may alias src.
+func (p *Plan) Inverse(dst, src []complex128) {
+	p.checkLen(dst, src)
+	if p.pow2 {
+		// IFFT via conjugation: ifft(x) = conj(fft(conj(x)))/N
+		tmp := make([]complex128, p.n)
+		for i, v := range src {
+			tmp[i] = cmplxConj(v)
+		}
+		p.forwardPow2(tmp, tmp)
+		scale := 1 / float64(p.n)
+		for i, v := range tmp {
+			dst[i] = complex(real(v)*scale, -imag(v)*scale)
+		}
+		return
+	}
+	p.bluestein(dst, src, true)
+}
+
+func (p *Plan) checkLen(dst, src []complex128) {
+	if len(dst) != p.n || len(src) != p.n {
+		panic(fmt.Sprintf("dsp: FFT size mismatch: plan %d, dst %d, src %d", p.n, len(dst), len(src)))
+	}
+}
+
+// forwardPow2 is the iterative radix-2 kernel. dst may alias src.
+func (p *Plan) forwardPow2(dst, src []complex128) {
+	n := p.n
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	// Bit-reversal permutation in place.
+	for i, j := range p.perm {
+		if i < j {
+			dst[i], dst[j] = dst[j], dst[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				w := p.twiddle[tw]
+				tw += step
+				a := dst[k]
+				b := dst[k+half] * w
+				dst[k] = a + b
+				dst[k+half] = a - b
+			}
+		}
+	}
+}
+
+// bluestein computes the (possibly inverse) DFT of arbitrary size via the
+// chirp-z transform.
+func (p *Plan) bluestein(dst, src []complex128, inverse bool) {
+	n, m := p.n, p.m
+	a := make([]complex128, m)
+	if inverse {
+		for k := 0; k < n; k++ {
+			a[k] = cmplxConj(src[k]) * p.chirp[k]
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			a[k] = src[k] * p.chirp[k]
+		}
+	}
+	p.sub.forwardPow2(a, a)
+	for i := range a {
+		a[i] *= p.bfft[i]
+	}
+	// inverse transform of a, unnormalized, using conjugation trick
+	for i := range a {
+		a[i] = cmplxConj(a[i])
+	}
+	p.sub.forwardPow2(a, a)
+	scale := 1 / float64(m)
+	if inverse {
+		// conj again and normalize by n for the inverse DFT
+		for k := 0; k < n; k++ {
+			v := cmplxConj(a[k]) * complex(scale, 0) * p.chirp[k]
+			v = cmplxConj(v)
+			dst[k] = complex(real(v)/float64(n), imag(v)/float64(n))
+		}
+		return
+	}
+	for k := 0; k < n; k++ {
+		v := cmplxConj(a[k]) * complex(scale, 0)
+		dst[k] = v * p.chirp[k]
+	}
+}
+
+// FFT returns the unnormalized DFT of x in a fresh slice.
+func FFT(x []complex128) []complex128 {
+	dst := make([]complex128, len(x))
+	PlanFor(len(x)).Forward(dst, x)
+	return dst
+}
+
+// IFFT returns the normalized inverse DFT of x in a fresh slice.
+func IFFT(x []complex128) []complex128 {
+	dst := make([]complex128, len(x))
+	PlanFor(len(x)).Inverse(dst, x)
+	return dst
+}
+
+// FFTShift reorders a spectrum so the zero-frequency bin moves to the center,
+// returning a fresh slice. For odd lengths the extra bin stays on the left of
+// center, matching the usual fftshift convention.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}

@@ -1,0 +1,116 @@
+// Package enodeb simulates an LTE base station (Evolved NodeB) producing the
+// continuous downlink waveform LScatter rides on: every subframe carries
+// sync/reference signals plus a PDSCH transport block protected by CRC-16,
+// a K=7 rate-1/2 convolutional code, block interleaving and cell-specific
+// Gold scrambling. The transport codec is exported so the UE can both decode
+// the direct-path LTE data and regenerate the clean excitation waveform used
+// as the backscatter demodulation reference.
+package enodeb
+
+import (
+	"fmt"
+
+	"lscatter/internal/bits"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/modem"
+)
+
+// crcBits is the CRC-16 length attached to every transport block.
+const crcBits = 16
+
+// tailBits is the convolutional termination overhead (K-1).
+const tailBits = 6
+
+// Codec bundles the PDSCH coding chain for one cell and modulation scheme.
+type Codec struct {
+	Params ltephy.Params
+	Scheme modem.Scheme
+	conv   *bits.ConvCode
+	inter  *bits.BlockInterleaver
+}
+
+// NewCodec builds the PDSCH codec (rate-1/2 convolutional, 32-column block
+// interleaver).
+func NewCodec(p ltephy.Params, scheme modem.Scheme) *Codec {
+	return &Codec{
+		Params: p,
+		Scheme: scheme,
+		conv:   bits.NewConvCodeR12(),
+		inter:  bits.NewBlockInterleaver(32),
+	}
+}
+
+// TransportBlockSize returns the number of information bits (excluding CRC)
+// that fit in a subframe with the given PDSCH RE capacity.
+func (c *Codec) TransportBlockSize(dataREs int) int {
+	_, kept := c.conv.Rate()
+	availCoded := dataREs * c.Scheme.BitsPerSymbol()
+	n := availCoded/kept - crcBits - tailBits
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// scrambleSeq returns the per-subframe scrambling sequence.
+func (c *Codec) scrambleSeq(subframe, n int) []byte {
+	cinit := uint32(c.Params.CellID<<9 | subframe<<4 | 0x5)
+	return bits.GoldSequence(cinit, n)
+}
+
+// Encode turns payload bits into PDSCH symbols filling dataREs resource
+// elements. The payload length must equal TransportBlockSize(dataREs).
+// Leftover modulation positions beyond the codeword are filled with
+// scrambler bits so every RE carries a valid constellation point.
+func (c *Codec) Encode(subframe int, payload []byte, dataREs int) ([]complex128, error) {
+	want := c.TransportBlockSize(dataREs)
+	if len(payload) != want {
+		return nil, fmt.Errorf("enodeb: payload %d bits, want %d for %d REs", len(payload), want, dataREs)
+	}
+	coded := c.conv.Encode(bits.AttachCRC16(payload))
+	coded = c.inter.Interleave(coded)
+	avail := dataREs * c.Scheme.BitsPerSymbol()
+	full := make([]byte, avail)
+	copy(full, coded)
+	filler := c.scrambleSeq(subframe+100, avail-len(coded))
+	copy(full[len(coded):], filler)
+	scr := c.scrambleSeq(subframe, avail)
+	for i := range full {
+		full[i] ^= scr[i]
+	}
+	return modem.Map(c.Scheme, full), nil
+}
+
+// Decode inverts Encode from per-RE soft symbols: it soft-demaps, descrambles
+// and deinterleaves the codeword portion, Viterbi-decodes and checks the CRC.
+// noiseVar scales the demapper LLRs. It returns the payload bits and whether
+// the CRC passed.
+func (c *Codec) Decode(subframe int, symbols []complex128, noiseVar float64) (payload []byte, ok bool) {
+	dataREs := len(symbols)
+	n := c.TransportBlockSize(dataREs)
+	if n == 0 {
+		return nil, false
+	}
+	llr := modem.DemapSoft(c.Scheme, symbols, noiseVar)
+	scr := c.scrambleSeq(subframe, len(llr))
+	for i := range llr {
+		if scr[i] == 1 {
+			llr[i] = -llr[i]
+		}
+	}
+	codedLen := c.conv.EncodedLen(n + crcBits)
+	if codedLen > len(llr) {
+		return nil, false
+	}
+	// Deinterleave the codeword LLRs (interleaving was applied to the
+	// codeword only).
+	deint := make([]float64, codedLen)
+	for i, src := range c.inter.Permutation(codedLen) {
+		deint[src] = llr[i]
+	}
+	dec := c.conv.DecodeSoft(deint)
+	if dec == nil {
+		return nil, false
+	}
+	return bits.CheckCRC16(dec)
+}

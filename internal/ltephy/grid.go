@@ -1,0 +1,192 @@
+package ltephy
+
+import (
+	"fmt"
+	"math"
+)
+
+// REKind classifies a resource element of the downlink grid.
+type REKind byte
+
+const (
+	// REEmpty is an unused resource element (guard or unallocated).
+	REEmpty REKind = iota
+	// REPSS carries the primary synchronization signal.
+	REPSS
+	// RESSS carries the secondary synchronization signal.
+	RESSS
+	// RECRS carries a cell-specific reference signal.
+	RECRS
+	// REControl belongs to the PDCCH/PCFICH control region.
+	REControl
+	// REData carries PDSCH payload.
+	REData
+	// REPBCH carries the broadcast channel (subframe 0, symbols 7-10).
+	REPBCH
+)
+
+// Grid is one subframe (14 OFDM symbols) of the downlink resource grid.
+// RE[l][k] is the symbol value at OFDM symbol l, subcarrier k (k spans the
+// occupied bandwidth; the DC bin is handled by the OFDM mapper).
+type Grid struct {
+	Params   Params
+	Subframe int // 0..9 within the radio frame
+	RE       [][]complex128
+	Kind     [][]REKind
+}
+
+// NewGrid allocates an empty subframe grid.
+func NewGrid(p Params, subframe int) *Grid {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if subframe < 0 || subframe >= SubframesPerFrame {
+		panic(fmt.Sprintf("ltephy: subframe %d out of [0,10)", subframe))
+	}
+	k := p.BW.Subcarriers()
+	g := &Grid{Params: p, Subframe: subframe}
+	g.RE = make([][]complex128, SymbolsPerSubframe)
+	g.Kind = make([][]REKind, SymbolsPerSubframe)
+	for l := range g.RE {
+		g.RE[l] = make([]complex128, k)
+		g.Kind[l] = make([]REKind, k)
+	}
+	return g
+}
+
+// K returns the number of occupied subcarriers.
+func (g *Grid) K() int { return g.Params.BW.Subcarriers() }
+
+// controlSymbols is the size of the PDCCH control region at the head of
+// every subframe (CFI). We use 2 symbols, a typical loaded-cell value.
+const controlSymbols = 2
+
+// PSSSymbolIndex is the OFDM symbol (within the subframe) carrying PSS in
+// subframes 0 and 5 for FDD: the last symbol of the first slot.
+const PSSSymbolIndex = SymbolsPerSlot - 1 // 6
+
+// SSSSymbolIndex is the symbol carrying SSS: one before the PSS.
+const SSSSymbolIndex = SymbolsPerSlot - 2 // 5
+
+// HasSync reports whether this subframe carries PSS/SSS (subframes 0 and 5).
+func (g *Grid) HasSync() bool { return g.Subframe == 0 || g.Subframe == 5 }
+
+// MapSyncAndRef places PSS, SSS (when present) and port-0 CRS into the grid.
+// The PSS/SSS REs are boosted by Params.PSSBoostDB.
+func (g *Grid) MapSyncAndRef() {
+	k := g.K()
+	boost := complex(math.Pow(10, g.Params.PSSBoostDB/20), 0)
+	if g.HasSync() {
+		pss := PSS(g.Params.NID2())
+		g.placeCenter62(PSSSymbolIndex, pss, REPSS, boost)
+		sssVals := SSS(g.Params.NID1(), g.Params.NID2(), g.Subframe)
+		sssC := make([]complex128, len(sssVals))
+		for i, v := range sssVals {
+			sssC[i] = complex(v, 0)
+		}
+		// Only the PSS is boosted: the tag's envelope detector keys on the
+		// PSS alone (§3.1), so the SSS must not pre-trigger the comparator.
+		g.placeCenter62(SSSSymbolIndex, sssC, RESSS, 1)
+	}
+	for _, rs := range CRSForSubframe(g.Params, g.Subframe) {
+		g.RE[rs.Symbol][rs.Subcarrier] = rs.Value
+		g.Kind[rs.Symbol][rs.Subcarrier] = RECRS
+	}
+	_ = k
+}
+
+// placeCenter62 writes a 62-element centered sequence into symbol l with the
+// guard structure of the sync signals (5 null subcarriers each side of the
+// central 72).
+func (g *Grid) placeCenter62(l int, seq []complex128, kind REKind, gain complex128) {
+	k := g.K()
+	base := k/2 - 31
+	for i, v := range seq {
+		idx := base + i
+		g.RE[l][idx] = v * gain
+		g.Kind[l][idx] = kind
+	}
+	// Mark the guard REs (5 on each side) as reserved-empty so PDSCH does
+	// not use them, matching the standard's sync-symbol guards.
+	for i := 1; i <= 5; i++ {
+		if base-i >= 0 {
+			g.Kind[l][base-i] = REEmpty
+		}
+		if base+62+i-1 < k {
+			g.Kind[l][base+62+i-1] = REEmpty
+		}
+	}
+}
+
+// MapControl fills the control region (first controlSymbols symbols) with
+// the provided symbols on every RE not already used by CRS. It returns the
+// number of symbols consumed.
+func (g *Grid) MapControl(symbols []complex128) int {
+	used := 0
+	for l := 0; l < controlSymbols && l < SymbolsPerSubframe; l++ {
+		for k := 0; k < g.K(); k++ {
+			if g.Kind[l][k] != REEmpty {
+				continue
+			}
+			if used >= len(symbols) {
+				return used
+			}
+			g.RE[l][k] = symbols[used]
+			g.Kind[l][k] = REControl
+			used++
+		}
+	}
+	return used
+}
+
+// DataREs returns the (symbol, subcarrier) coordinates available for PDSCH,
+// in symbol-major order. Call after MapSyncAndRef (and MapControl).
+func (g *Grid) DataREs() [][2]int {
+	var out [][2]int
+	for l := controlSymbols; l < SymbolsPerSubframe; l++ {
+		if g.HasSync() && (l == PSSSymbolIndex || l == SSSSymbolIndex) {
+			// Only the central 72 subcarriers are reserved in sync symbols;
+			// the outer RBs still carry data.
+			for k := 0; k < g.K(); k++ {
+				if g.Kind[l][k] == REEmpty && !g.inSyncBand(k) {
+					out = append(out, [2]int{l, k})
+				}
+			}
+			continue
+		}
+		for k := 0; k < g.K(); k++ {
+			if g.Kind[l][k] == REEmpty {
+				out = append(out, [2]int{l, k})
+			}
+		}
+	}
+	return out
+}
+
+// inSyncBand reports whether subcarrier k lies in the central 72-subcarrier
+// band reserved during sync symbols.
+func (g *Grid) inSyncBand(k int) bool {
+	lo := g.K()/2 - 36
+	hi := g.K()/2 + 36
+	return k >= lo && k < hi
+}
+
+// MapData writes PDSCH symbols onto the data REs and returns how many were
+// placed.
+func (g *Grid) MapData(symbols []complex128) int {
+	res := g.DataREs()
+	n := len(symbols)
+	if n > len(res) {
+		n = len(res)
+	}
+	for i := 0; i < n; i++ {
+		l, k := res[i][0], res[i][1]
+		g.RE[l][k] = symbols[i]
+		g.Kind[l][k] = REData
+	}
+	return n
+}
+
+// DataCapacity returns the number of PDSCH resource elements in this
+// subframe.
+func (g *Grid) DataCapacity() int { return len(g.DataREs()) }

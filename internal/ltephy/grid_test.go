@@ -1,0 +1,220 @@
+package ltephy
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"lscatter/internal/modem"
+	"lscatter/internal/rng"
+)
+
+func TestCRSPositionsAndValues(t *testing.T) {
+	p := DefaultParams(BW5)
+	crs := CRSForSubframe(p, 3)
+	// Port 0, normal CP: 2 symbols per slot, 2*NRB REs per symbol, 2 slots.
+	want := 2 * 2 * 2 * p.BW.NRB()
+	if len(crs) != want {
+		t.Fatalf("CRS count = %d, want %d", len(crs), want)
+	}
+	vshift := p.CellID % 6
+	for _, rs := range crs {
+		if math.Abs(cmplx.Abs(rs.Value)-1) > 1e-12 {
+			t.Fatalf("CRS value magnitude %v, want 1", cmplx.Abs(rs.Value))
+		}
+		l := rs.Symbol % SymbolsPerSlot
+		if l != 0 && l != 4 {
+			t.Fatalf("CRS in symbol %d of slot", l)
+		}
+		v := 0
+		if l == 4 {
+			v = 3
+		}
+		if (rs.Subcarrier-(v+vshift)%6)%6 != 0 {
+			t.Fatalf("CRS subcarrier %d violates 6m+shift rule", rs.Subcarrier)
+		}
+	}
+}
+
+func TestCRSDeterministicAndSlotDependent(t *testing.T) {
+	p := DefaultParams(BW1_4)
+	a := CRSForSubframe(p, 2)
+	b := CRSForSubframe(p, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("CRS not deterministic")
+		}
+	}
+	c := CRSForSubframe(p, 3)
+	diff := 0
+	for i := range a {
+		if a[i].Value != c[i].Value {
+			diff++
+		}
+	}
+	if diff < len(a)/4 {
+		t.Fatalf("CRS barely changes across subframes (%d of %d)", diff, len(a))
+	}
+}
+
+func TestGridSyncMapping(t *testing.T) {
+	p := DefaultParams(BW10)
+	g := NewGrid(p, 0)
+	g.MapSyncAndRef()
+	k := g.K()
+	// PSS occupies the central 62 subcarriers of symbol 6.
+	count := 0
+	for kk := 0; kk < k; kk++ {
+		if g.Kind[PSSSymbolIndex][kk] == REPSS {
+			count++
+			if kk < k/2-31 || kk >= k/2+31 {
+				t.Fatalf("PSS RE outside central band at %d", kk)
+			}
+		}
+	}
+	if count != 62 {
+		t.Fatalf("PSS RE count = %d, want 62", count)
+	}
+	// SSS likewise on symbol 5.
+	count = 0
+	for kk := 0; kk < k; kk++ {
+		if g.Kind[SSSSymbolIndex][kk] == RESSS {
+			count++
+		}
+	}
+	if count != 62 {
+		t.Fatalf("SSS RE count = %d, want 62", count)
+	}
+}
+
+func TestGridNoSyncInOtherSubframes(t *testing.T) {
+	p := DefaultParams(BW5)
+	for _, sf := range []int{1, 2, 3, 4, 6, 9} {
+		g := NewGrid(p, sf)
+		g.MapSyncAndRef()
+		for l := range g.Kind {
+			for _, kind := range g.Kind[l] {
+				if kind == REPSS || kind == RESSS {
+					t.Fatalf("sync signal in subframe %d", sf)
+				}
+			}
+		}
+	}
+}
+
+func TestPSSBoostApplied(t *testing.T) {
+	p := DefaultParams(BW5)
+	p.PSSBoostDB = 6
+	g := NewGrid(p, 0)
+	g.MapSyncAndRef()
+	var pssP, crsP float64
+	var pssN, crsN int
+	for l := range g.RE {
+		for k := range g.RE[l] {
+			v := g.RE[l][k]
+			pw := real(v)*real(v) + imag(v)*imag(v)
+			switch g.Kind[l][k] {
+			case REPSS:
+				pssP += pw
+				pssN++
+			case RECRS:
+				crsP += pw
+				crsN++
+			}
+		}
+	}
+	ratio := (pssP / float64(pssN)) / (crsP / float64(crsN))
+	if math.Abs(10*math.Log10(ratio)-6) > 0.1 {
+		t.Fatalf("PSS boost = %v dB, want 6", 10*math.Log10(ratio))
+	}
+}
+
+func TestDataREsExcludeReserved(t *testing.T) {
+	p := DefaultParams(BW5)
+	g := NewGrid(p, 0)
+	g.MapSyncAndRef()
+	for _, re := range g.DataREs() {
+		l, k := re[0], re[1]
+		if l < controlSymbols {
+			t.Fatalf("data RE in control region: symbol %d", l)
+		}
+		if g.Kind[l][k] != REEmpty {
+			t.Fatalf("data RE overlaps kind %d at (%d,%d)", g.Kind[l][k], l, k)
+		}
+		if (l == PSSSymbolIndex || l == SSSSymbolIndex) && g.inSyncBand(k) {
+			t.Fatalf("data RE inside sync band at (%d,%d)", l, k)
+		}
+	}
+}
+
+func TestMapDataFillsAndCounts(t *testing.T) {
+	p := DefaultParams(BW1_4)
+	g := NewGrid(p, 1)
+	g.MapSyncAndRef()
+	r := rng.New(3)
+	capacity := g.DataCapacity()
+	syms := modem.Map(modem.QPSK, r.Bits(make([]byte, 2*capacity)))
+	placed := g.MapData(syms)
+	if placed != capacity {
+		t.Fatalf("placed %d, capacity %d", placed, capacity)
+	}
+	// Capacity is consumed: the REs are now REData, not REEmpty.
+	if g.DataCapacity() != 0 {
+		t.Fatalf("capacity after fill = %d, want 0", g.DataCapacity())
+	}
+	// Every data RE now carries a nonzero symbol.
+	n := 0
+	for l := range g.RE {
+		for k := range g.RE[l] {
+			if g.Kind[l][k] == REData {
+				n++
+				if g.RE[l][k] == 0 {
+					t.Fatalf("zero data symbol at (%d,%d)", l, k)
+				}
+			}
+		}
+	}
+	if n != placed {
+		t.Fatalf("marked %d data REs, placed %d", n, placed)
+	}
+}
+
+func TestMapControlAvoidsCRS(t *testing.T) {
+	p := DefaultParams(BW1_4)
+	g := NewGrid(p, 2)
+	g.MapSyncAndRef()
+	syms := make([]complex128, 1000)
+	for i := range syms {
+		syms[i] = 1
+	}
+	g.MapControl(syms)
+	for l := 0; l < controlSymbols; l++ {
+		for k := range g.RE[l] {
+			if g.Kind[l][k] == RECRS && g.RE[l][k] == 1 {
+				t.Fatalf("control symbol overwrote CRS at (%d,%d)", l, k)
+			}
+		}
+	}
+}
+
+func TestDataCapacityGrowsWithBandwidth(t *testing.T) {
+	prev := 0
+	for _, bw := range Bandwidths {
+		g := NewGrid(DefaultParams(bw), 1)
+		g.MapSyncAndRef()
+		c := g.DataCapacity()
+		if c <= prev {
+			t.Fatalf("%v capacity %d not greater than previous %d", bw, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestNewGridRejectsBadSubframe(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("subframe 10 accepted")
+		}
+	}()
+	NewGrid(DefaultParams(BW5), 10)
+}

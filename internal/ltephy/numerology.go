@@ -1,0 +1,183 @@
+// Package ltephy implements the LTE FDD downlink physical layer used as the
+// excitation-signal substrate for LScatter: the standard numerology for all
+// six channel bandwidths, primary and secondary synchronization signals
+// (Zadoff-Chu and m-sequences per 3GPP TS 36.211), cell-specific reference
+// signals (Gold sequence), the per-subframe resource grid, and the OFDM
+// modulator/demodulator with normal cyclic prefix.
+//
+// Waveforms are produced at an integer oversampling factor above the nominal
+// LTE sample rate so the backscatter tag's square-wave modulation (one cycle
+// per basic-timing unit) is representable; see Params.
+package ltephy
+
+import "fmt"
+
+// Bandwidth enumerates the six LTE channel bandwidths.
+type Bandwidth int
+
+const (
+	// BW1_4 is the 1.4 MHz channel (6 resource blocks).
+	BW1_4 Bandwidth = iota
+	// BW3 is the 3 MHz channel (15 resource blocks).
+	BW3
+	// BW5 is the 5 MHz channel (25 resource blocks).
+	BW5
+	// BW10 is the 10 MHz channel (50 resource blocks).
+	BW10
+	// BW15 is the 15 MHz channel (75 resource blocks).
+	BW15
+	// BW20 is the 20 MHz channel (100 resource blocks).
+	BW20
+)
+
+// Bandwidths lists all supported bandwidths in ascending order.
+var Bandwidths = []Bandwidth{BW1_4, BW3, BW5, BW10, BW15, BW20}
+
+// numerology rows: resource blocks and FFT size per bandwidth.
+var numerology = [...]struct {
+	mhz  float64
+	nrb  int
+	fft  int
+	name string
+}{
+	{1.4, 6, 128, "1.4MHz"},
+	{3, 15, 256, "3MHz"},
+	{5, 25, 512, "5MHz"},
+	{10, 50, 1024, "10MHz"},
+	{15, 75, 1536, "15MHz"},
+	{20, 100, 2048, "20MHz"},
+}
+
+// String returns the bandwidth name, e.g. "20MHz".
+func (b Bandwidth) String() string { return numerology[b].name }
+
+// MHz returns the nominal channel bandwidth in MHz.
+func (b Bandwidth) MHz() float64 { return numerology[b].mhz }
+
+// NRB returns the number of downlink resource blocks.
+func (b Bandwidth) NRB() int { return numerology[b].nrb }
+
+// Subcarriers returns the number of occupied subcarriers (12 per RB).
+func (b Bandwidth) Subcarriers() int { return 12 * numerology[b].nrb }
+
+// FFTSize returns the nominal (non-oversampled) FFT size.
+func (b Bandwidth) FFTSize() int { return numerology[b].fft }
+
+// SampleRate returns the nominal baseband sample rate in Hz
+// (15 kHz subcarrier spacing times the FFT size).
+func (b Bandwidth) SampleRate() float64 { return 15e3 * float64(numerology[b].fft) }
+
+// LTE frame constants (normal cyclic prefix).
+const (
+	// SubcarrierSpacing is the LTE subcarrier spacing in Hz.
+	SubcarrierSpacing = 15e3
+	// SymbolsPerSlot is the OFDM symbol count per slot with normal CP.
+	SymbolsPerSlot = 7
+	// SlotsPerSubframe is always 2.
+	SlotsPerSubframe = 2
+	// SymbolsPerSubframe = 14.
+	SymbolsPerSubframe = SymbolsPerSlot * SlotsPerSubframe
+	// SubframesPerFrame = 10 (1 ms each).
+	SubframesPerFrame = 10
+	// SubframeDuration in seconds.
+	SubframeDuration = 1e-3
+	// PSSPeriod is the primary synchronization signal period (5 ms).
+	PSSPeriod = 5e-3
+	// PSSBandwidth is the occupied PSS bandwidth in Hz (62 subcarriers):
+	// the paper's "0.93 MHz, fixed for every channel bandwidth".
+	PSSBandwidth = 62 * SubcarrierSpacing
+)
+
+// CPLen returns the cyclic-prefix length in nominal samples for symbol l
+// (0..6) of a slot: 160*N/2048 for the first symbol, 144*N/2048 otherwise.
+func (b Bandwidth) CPLen(l int) int {
+	n := b.FFTSize()
+	if l == 0 {
+		return 160 * n / 2048
+	}
+	return 144 * n / 2048
+}
+
+// SamplesPerSlot returns the nominal sample count of one slot (0.5 ms).
+func (b Bandwidth) SamplesPerSlot() int {
+	n := b.FFTSize()
+	total := 0
+	for l := 0; l < SymbolsPerSlot; l++ {
+		total += b.CPLen(l) + n
+	}
+	_ = total
+	return total
+}
+
+// SamplesPerSubframe returns the nominal sample count of one subframe (1 ms).
+func (b Bandwidth) SamplesPerSubframe() int { return 2 * b.SamplesPerSlot() }
+
+// Params couples a bandwidth with a physical cell identity and the waveform
+// oversampling factor. It is the configuration object shared by the eNodeB,
+// tag, channel and UE.
+type Params struct {
+	// BW is the LTE channel bandwidth.
+	BW Bandwidth
+	// CellID is the physical cell identity (0..503); it selects the PSS
+	// root, SSS sequences and CRS scrambling/shift.
+	CellID int
+	// Oversample is the integer waveform oversampling factor (>= 2). The
+	// emitted sample rate is Oversample * BW.SampleRate(). The default used
+	// throughout the repository is 4.
+	Oversample int
+	// PSSBoostDB is the power boost applied to PSS/SSS resource elements
+	// relative to data REs, in dB. Real deployments commonly boost sync
+	// signals; the tag's envelope-detector synchronization relies on the
+	// PSS standing out within its narrow front-end band (see DESIGN.md).
+	PSSBoostDB float64
+}
+
+// DefaultParams returns a ready-to-use configuration at the given bandwidth:
+// cell ID 7, oversampling 4, PSS boost 6 dB.
+func DefaultParams(bw Bandwidth) Params {
+	return Params{BW: bw, CellID: 7, Oversample: 4, PSSBoostDB: 6}
+}
+
+// Validate checks the parameter ranges.
+func (p Params) Validate() error {
+	if p.BW < BW1_4 || p.BW > BW20 {
+		return fmt.Errorf("ltephy: invalid bandwidth %d", p.BW)
+	}
+	if p.CellID < 0 || p.CellID > 503 {
+		return fmt.Errorf("ltephy: cell ID %d out of [0,503]", p.CellID)
+	}
+	if p.Oversample < 2 {
+		return fmt.Errorf("ltephy: oversample %d < 2", p.Oversample)
+	}
+	return nil
+}
+
+// NID2 returns the PSS root index (cell ID mod 3).
+func (p Params) NID2() int { return p.CellID % 3 }
+
+// NID1 returns the SSS group identity (cell ID / 3).
+func (p Params) NID1() int { return p.CellID / 3 }
+
+// SampleRate returns the oversampled waveform rate in Hz.
+func (p Params) SampleRate() float64 {
+	return float64(p.Oversample) * p.BW.SampleRate()
+}
+
+// UnitDuration returns the basic-timing-unit duration in seconds: one nominal
+// sample period, Ts = 1/BW.SampleRate(). This is the paper's modulation
+// granularity ("tens of ns": 32.55 ns at 20 MHz).
+func (p Params) UnitDuration() float64 { return 1 / p.BW.SampleRate() }
+
+// UnitsPerSymbol returns the number of basic-timing units in symbol l of a
+// slot, CP included (2208 or 2192 at 20 MHz).
+func (p Params) UnitsPerSymbol(l int) int { return p.BW.CPLen(l) + p.BW.FFTSize() }
+
+// UsefulModulationUnits returns how many basic-timing units per symbol carry
+// backscatter data: the paper sets it equal to the number of occupied
+// subcarriers (1200 at 20 MHz, ~54.6% of a symbol).
+func (p Params) UsefulModulationUnits() int { return p.BW.Subcarriers() }
+
+// ShiftFrequency returns the backscatter carrier shift 1/Ts in Hz — equal to
+// the nominal sample rate, which places the hybrid signal entirely outside
+// the original LTE band.
+func (p Params) ShiftFrequency() float64 { return p.BW.SampleRate() }

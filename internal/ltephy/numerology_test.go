@@ -1,0 +1,133 @@
+package ltephy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNumerologyTable(t *testing.T) {
+	cases := []struct {
+		bw   Bandwidth
+		nrb  int
+		fft  int
+		rate float64
+	}{
+		{BW1_4, 6, 128, 1.92e6},
+		{BW3, 15, 256, 3.84e6},
+		{BW5, 25, 512, 7.68e6},
+		{BW10, 50, 1024, 15.36e6},
+		{BW15, 75, 1536, 23.04e6},
+		{BW20, 100, 2048, 30.72e6},
+	}
+	for _, c := range cases {
+		if c.bw.NRB() != c.nrb {
+			t.Errorf("%v NRB = %d, want %d", c.bw, c.bw.NRB(), c.nrb)
+		}
+		if c.bw.FFTSize() != c.fft {
+			t.Errorf("%v FFT = %d, want %d", c.bw, c.bw.FFTSize(), c.fft)
+		}
+		if math.Abs(c.bw.SampleRate()-c.rate) > 1 {
+			t.Errorf("%v rate = %v, want %v", c.bw, c.bw.SampleRate(), c.rate)
+		}
+		if c.bw.Subcarriers() != 12*c.nrb {
+			t.Errorf("%v subcarriers = %d", c.bw, c.bw.Subcarriers())
+		}
+	}
+}
+
+func TestSlotSampleCounts(t *testing.T) {
+	for _, bw := range Bandwidths {
+		// A slot is exactly 0.5 ms at the nominal rate.
+		want := int(0.5e-3 * bw.SampleRate())
+		if got := bw.SamplesPerSlot(); got != want {
+			t.Errorf("%v samples/slot = %d, want %d", bw, got, want)
+		}
+		if bw.SamplesPerSubframe() != 2*want {
+			t.Errorf("%v samples/subframe mismatch", bw)
+		}
+	}
+}
+
+func TestCPLengths20MHz(t *testing.T) {
+	if got := BW20.CPLen(0); got != 160 {
+		t.Errorf("first CP = %d, want 160", got)
+	}
+	if got := BW20.CPLen(3); got != 144 {
+		t.Errorf("normal CP = %d, want 144", got)
+	}
+}
+
+func TestCPLengthsScaleWithFFT(t *testing.T) {
+	for _, bw := range Bandwidths {
+		n := bw.FFTSize()
+		if got, want := bw.CPLen(0), 160*n/2048; got != want {
+			t.Errorf("%v CP0 = %d, want %d", bw, got, want)
+		}
+		if 160*n%2048 != 0 || 144*n%2048 != 0 {
+			t.Errorf("%v CP not integer", bw)
+		}
+	}
+}
+
+func TestUnitsPerSymbol20MHz(t *testing.T) {
+	p := DefaultParams(BW20)
+	// Paper §3.2.3 (corrected arithmetic): 2048 + 144 = 2192 units in a
+	// normal symbol, 1200 of which carry backscatter data (~54.7%).
+	if got := p.UnitsPerSymbol(1); got != 2192 {
+		t.Errorf("units/symbol = %d, want 2192", got)
+	}
+	if got := p.UsefulModulationUnits(); got != 1200 {
+		t.Errorf("useful units = %d, want 1200", got)
+	}
+	frac := float64(p.UsefulModulationUnits()) / float64(p.UnitsPerSymbol(1))
+	if frac < 0.54 || frac > 0.56 {
+		t.Errorf("useful-modulation fraction = %v, want ~0.547", frac)
+	}
+}
+
+func TestUnitDuration20MHzIsTensOfNs(t *testing.T) {
+	p := DefaultParams(BW20)
+	ts := p.UnitDuration()
+	if ts < 30e-9 || ts > 35e-9 {
+		t.Fatalf("basic timing unit = %v s, want ~32.55 ns", ts)
+	}
+}
+
+func TestShiftFrequencyOutsideBand(t *testing.T) {
+	for _, bw := range Bandwidths {
+		p := DefaultParams(bw)
+		if p.ShiftFrequency() < bw.MHz()*1e6/2 {
+			t.Errorf("%v: shift %v Hz inside the occupied half-band", bw, p.ShiftFrequency())
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := DefaultParams(BW5)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := good
+	bad.CellID = 504
+	if bad.Validate() == nil {
+		t.Fatal("cell ID 504 accepted")
+	}
+	bad = good
+	bad.Oversample = 1
+	if bad.Validate() == nil {
+		t.Fatal("oversample 1 accepted")
+	}
+}
+
+func TestNIDSplit(t *testing.T) {
+	p := Params{BW: BW5, CellID: 301, Oversample: 2}
+	if p.NID1() != 100 || p.NID2() != 1 {
+		t.Fatalf("NID1/NID2 = %d/%d, want 100/1", p.NID1(), p.NID2())
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	if BW20.String() != "20MHz" || BW1_4.String() != "1.4MHz" {
+		t.Fatal("bandwidth names wrong")
+	}
+}

@@ -1,0 +1,95 @@
+package ltephy
+
+import (
+	"fmt"
+	"math"
+
+	"lscatter/internal/dsp"
+)
+
+// planForward and planInverse wrap the cached dsp plans.
+func planForward(dst, src []complex128) { dsp.PlanFor(len(src)).Forward(dst, src) }
+func planInverse(dst, src []complex128) { dsp.PlanFor(len(src)).Inverse(dst, src) }
+
+// binOf maps grid subcarrier index k (0..K-1) to the FFT bin of an n-point
+// spectrum, skipping the DC bin: the lower half of the grid goes to negative
+// bins, the upper half to bins 1..K/2.
+func binOf(k, gridK, n int) int {
+	half := gridK / 2
+	if k < half {
+		return (k - half + n) % n
+	}
+	return k - half + 1
+}
+
+// Modulate converts a subframe grid to oversampled time-domain samples with
+// normal cyclic prefix. The output has length
+// Oversample * BW.SamplesPerSubframe() and is scaled so a unit-power
+// constellation yields approximately unit average sample power over the
+// occupied band.
+func Modulate(g *Grid) []complex128 {
+	p := g.Params
+	n := p.BW.FFTSize() * p.Oversample
+	k := g.K()
+	out := make([]complex128, 0, p.Oversample*p.BW.SamplesPerSubframe())
+	freq := make([]complex128, n)
+	sym := make([]complex128, n)
+	// Amplitude scale: inverse FFT normalizes by 1/n, so multiply by
+	// n/sqrt(K) to make average time power ~= average constellation power.
+	gain := complex(float64(n)/math.Sqrt(float64(k)), 0)
+	for l := 0; l < SymbolsPerSubframe; l++ {
+		for i := range freq {
+			freq[i] = 0
+		}
+		for kk := 0; kk < k; kk++ {
+			freq[binOf(kk, k, n)] = g.RE[l][kk] * gain
+		}
+		planInverse(sym, freq)
+		cp := p.BW.CPLen(l%SymbolsPerSlot) * p.Oversample
+		out = append(out, sym[n-cp:]...)
+		out = append(out, sym...)
+	}
+	return out
+}
+
+// Demodulate recovers the subframe grid from oversampled time samples that
+// begin exactly at the subframe boundary. It inverts Modulate: the returned
+// grid contains the transmitted RE values (kinds are not reconstructed).
+func Demodulate(p Params, samples []complex128, subframe int) (*Grid, error) {
+	need := p.Oversample * p.BW.SamplesPerSubframe()
+	if len(samples) < need {
+		return nil, fmt.Errorf("ltephy: need %d samples for a subframe, have %d", need, len(samples))
+	}
+	n := p.BW.FFTSize() * p.Oversample
+	k := p.BW.Subcarriers()
+	g := NewGrid(p, subframe)
+	freq := make([]complex128, n)
+	gain := complex(math.Sqrt(float64(k))/float64(n), 0)
+	pos := 0
+	for l := 0; l < SymbolsPerSubframe; l++ {
+		cp := p.BW.CPLen(l%SymbolsPerSlot) * p.Oversample
+		pos += cp
+		planForward(freq, samples[pos:pos+n])
+		for kk := 0; kk < k; kk++ {
+			g.RE[l][kk] = freq[binOf(kk, k, n)] * gain
+		}
+		pos += n
+	}
+	return g, nil
+}
+
+// SymbolStart returns the oversampled sample offset, within a subframe, of
+// the start of OFDM symbol l (0..13), including its cyclic prefix.
+func SymbolStart(p Params, l int) int {
+	pos := 0
+	for i := 0; i < l; i++ {
+		pos += p.UnitsPerSymbol(i % SymbolsPerSlot)
+	}
+	return pos * p.Oversample
+}
+
+// UsefulStart returns the oversampled offset of the first useful (post-CP)
+// sample of symbol l within a subframe.
+func UsefulStart(p Params, l int) int {
+	return SymbolStart(p, l) + p.BW.CPLen(l%SymbolsPerSlot)*p.Oversample
+}

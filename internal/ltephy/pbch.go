@@ -1,0 +1,149 @@
+package ltephy
+
+import (
+	"lscatter/internal/bits"
+	"lscatter/internal/modem"
+)
+
+// MIB is the master information block broadcast on the PBCH: the minimum a
+// UE needs after PSS/SSS acquisition to configure reception — the downlink
+// bandwidth and the system frame number.
+type MIB struct {
+	// BW is the cell's downlink bandwidth.
+	BW Bandwidth
+	// SFN is the system frame number modulo 1024.
+	SFN int
+}
+
+// mibBits is the information size: 3 bandwidth bits + 10 SFN bits + 11
+// spare, mirroring the standard's 24-bit MIB.
+const mibBits = 24
+
+// PBCH placement: the central six resource blocks of OFDM symbols 7..10 of
+// subframe 0 (the first four symbols of slot 1), avoiding port-0 CRS.
+const (
+	pbchFirstSymbol = 7
+	pbchSymbols     = 4
+	pbchRBs         = 6
+)
+
+// PBCHREs returns the (symbol, subcarrier) coordinates of the PBCH resource
+// elements in subframe 0, in mapping order.
+func PBCHREs(p Params) [][2]int {
+	k := p.BW.Subcarriers()
+	base := k/2 - 12*pbchRBs/2 // central 72 subcarriers
+	vshift := p.CellID % 6
+	var out [][2]int
+	for l := pbchFirstSymbol; l < pbchFirstSymbol+pbchSymbols; l++ {
+		slotSym := l % SymbolsPerSlot
+		for i := 0; i < 72; i++ {
+			kk := base + i
+			// Skip CRS positions (port 0 transmits CRS on l=0 of the slot,
+			// i.e. subframe symbol 7; the paired shift is reserved too, as
+			// the standard reserves the full four-port pattern).
+			if slotSym == 0 {
+				if (kk-(0+vshift)%6)%6 == 0 || (kk-(3+vshift)%6)%6 == 0 {
+					continue
+				}
+			}
+			out = append(out, [2]int{l, kk})
+		}
+	}
+	return out
+}
+
+// mibToBits serializes a MIB.
+func mibToBits(m MIB) []byte {
+	out := make([]byte, mibBits)
+	for i := 0; i < 3; i++ {
+		out[i] = byte(int(m.BW) >> (2 - i) & 1)
+	}
+	for i := 0; i < 10; i++ {
+		out[3+i] = byte(m.SFN >> (9 - i) & 1)
+	}
+	return out
+}
+
+// bitsToMIB inverts mibToBits.
+func bitsToMIB(b []byte) MIB {
+	bw := 0
+	for i := 0; i < 3; i++ {
+		bw = bw<<1 | int(b[i])
+	}
+	sfn := 0
+	for i := 0; i < 10; i++ {
+		sfn = sfn<<1 | int(b[3+i])
+	}
+	if bw > int(BW20) {
+		bw = int(BW20)
+	}
+	return MIB{BW: Bandwidth(bw), SFN: sfn}
+}
+
+// pbchCodec is the rate-1/3 K=7 convolutional code (the standard uses the
+// tail-biting variant of the same generators).
+var pbchCodec = bits.NewConvCodeR13()
+
+// EncodePBCH produces the QPSK symbols filling the PBCH resource elements:
+// MIB + CRC16, rate-1/3 coding, cell-specific scrambling, and repetition to
+// fill the available REs.
+func EncodePBCH(p Params, m MIB) []complex128 {
+	coded := pbchCodec.Encode(bits.AttachCRC16(mibToBits(m)))
+	res := PBCHREs(p)
+	need := 2 * len(res) // QPSK bits
+	full := make([]byte, need)
+	for i := range full {
+		full[i] = coded[i%len(coded)]
+	}
+	scr := bits.GoldSequence(uint32(p.CellID)<<3|0x2, need)
+	for i := range full {
+		full[i] ^= scr[i]
+	}
+	return modem.Map(modem.QPSK, full)
+}
+
+// DecodePBCH inverts EncodePBCH from (equalized) PBCH symbols: descramble,
+// combine the repetitions as soft values, Viterbi-decode, check the CRC.
+func DecodePBCH(p Params, syms []complex128, noiseVar float64) (MIB, bool) {
+	res := PBCHREs(p)
+	if len(syms) != len(res) {
+		return MIB{}, false
+	}
+	llr := modem.DemapSoft(modem.QPSK, syms, noiseVar)
+	scr := bits.GoldSequence(uint32(p.CellID)<<3|0x2, len(llr))
+	for i := range llr {
+		if scr[i] == 1 {
+			llr[i] = -llr[i]
+		}
+	}
+	codedLen := pbchCodec.EncodedLen(mibBits + 16)
+	combined := make([]float64, codedLen)
+	for i, v := range llr {
+		combined[i%codedLen] += v
+	}
+	dec := pbchCodec.DecodeSoft(combined)
+	if dec == nil {
+		return MIB{}, false
+	}
+	payload, ok := bits.CheckCRC16(dec)
+	if !ok {
+		return MIB{}, false
+	}
+	return bitsToMIB(payload), true
+}
+
+// MapPBCH places the PBCH symbols into a subframe-0 grid, marking the REs so
+// PDSCH mapping skips them. It panics if called on another subframe.
+func (g *Grid) MapPBCH(syms []complex128) {
+	if g.Subframe != 0 {
+		panic("ltephy: PBCH belongs to subframe 0")
+	}
+	res := PBCHREs(g.Params)
+	if len(syms) != len(res) {
+		panic("ltephy: PBCH symbol count mismatch")
+	}
+	for i, re := range res {
+		g.RE[re[0]][re[1]] = syms[i]
+		g.Kind[re[0]][re[1]] = REPBCH
+	}
+}

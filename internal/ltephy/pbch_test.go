@@ -1,0 +1,104 @@
+package ltephy
+
+import (
+	"testing"
+
+	"lscatter/internal/rng"
+)
+
+func TestPBCHREsStructure(t *testing.T) {
+	p := DefaultParams(BW5)
+	res := PBCHREs(p)
+	// 4 symbols x 72 subcarriers minus the reserved CRS pattern in the
+	// slot's first symbol (72/6*2 = 24 REs).
+	want := 4*72 - 24
+	if len(res) != want {
+		t.Fatalf("PBCH RE count = %d, want %d", len(res), want)
+	}
+	k := p.BW.Subcarriers()
+	for _, re := range res {
+		if re[0] < 7 || re[0] > 10 {
+			t.Fatalf("PBCH RE in symbol %d", re[0])
+		}
+		if re[1] < k/2-36 || re[1] >= k/2+36 {
+			t.Fatalf("PBCH RE outside the central 6 RB at %d", re[1])
+		}
+	}
+}
+
+func TestPBCHRoundTrip(t *testing.T) {
+	for _, bw := range []Bandwidth{BW1_4, BW5, BW20} {
+		p := DefaultParams(bw)
+		for _, sfn := range []int{0, 1, 511, 1023} {
+			mib := MIB{BW: bw, SFN: sfn}
+			syms := EncodePBCH(p, mib)
+			got, ok := DecodePBCH(p, syms, 0.05)
+			if !ok {
+				t.Fatalf("%v sfn %d: clean PBCH decode failed", bw, sfn)
+			}
+			if got != mib {
+				t.Fatalf("%v: decoded %+v, want %+v", bw, got, mib)
+			}
+		}
+	}
+}
+
+func TestPBCHSurvivesNoise(t *testing.T) {
+	p := DefaultParams(BW1_4)
+	mib := MIB{BW: BW1_4, SFN: 321}
+	r := rng.New(5)
+	ok := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		syms := EncodePBCH(p, mib)
+		// 0 dB symbol SNR: the fourfold repetition plus rate-1/3 coding must
+		// carry it.
+		for j := range syms {
+			syms[j] += r.Complex(1 / 1.41421356)
+		}
+		if got, k := DecodePBCH(p, syms, 1.0); k && got == mib {
+			ok++
+		}
+	}
+	if ok < trials*8/10 {
+		t.Fatalf("PBCH decoded %d/%d at 0 dB", ok, trials)
+	}
+}
+
+func TestPBCHScrambledPerCell(t *testing.T) {
+	a := EncodePBCH(Params{BW: BW1_4, CellID: 1, Oversample: 2}, MIB{BW: BW1_4, SFN: 7})
+	b := EncodePBCH(Params{BW: BW1_4, CellID: 2, Oversample: 2}, MIB{BW: BW1_4, SFN: 7})
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	if diff < len(a)/4 {
+		t.Fatalf("PBCH barely differs across cells: %d/%d", diff, len(a))
+	}
+	// Wrong-cell descrambling must fail the CRC.
+	if _, ok := DecodePBCH(Params{BW: BW1_4, CellID: 2, Oversample: 2}, a, 0.05); ok {
+		t.Fatal("PBCH decoded with the wrong cell identity")
+	}
+}
+
+func TestGridPBCHReservation(t *testing.T) {
+	p := DefaultParams(BW5)
+	g := NewGrid(p, 0)
+	g.MapSyncAndRef()
+	g.MapPBCH(EncodePBCH(p, MIB{BW: BW5, SFN: 3}))
+	for _, re := range g.DataREs() {
+		if g.Kind[re[0]][re[1]] == REPBCH {
+			t.Fatal("data RE overlaps PBCH")
+		}
+	}
+	// PBCH only exists in subframe 0.
+	g1 := NewGrid(p, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MapPBCH on subframe 1 did not panic")
+		}
+	}()
+	g1.MapPBCH(EncodePBCH(p, MIB{}))
+}

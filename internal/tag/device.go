@@ -1,0 +1,160 @@
+package tag
+
+import (
+	"math"
+
+	"lscatter/internal/ltephy"
+)
+
+// Device is the complete LScatter tag: the analog synchronization circuit
+// feeding the FPGA's timing estimate, and the switch modulator driven by it.
+// Unlike the bare Modulator (whose timing error tests inject), a Device
+// derives its frame alignment from the PSS detections of its own envelope
+// detector — the full closed loop of Figure 5's tag block.
+//
+// Feed the incident downlink stream chunk by chunk through Process; the
+// device returns what its antenna reflects. Before synchronization it parks
+// the switch; once it has locked onto the 5 ms PSS lattice it schedules a
+// burst per half-frame and modulates queued bits.
+type Device struct {
+	p    ltephy.Params
+	sync *SyncCircuit
+	mod  *Modulator
+
+	consumed   int // absolute samples consumed
+	synced     bool
+	boundary   int // estimated absolute sample index of a subframe-0 boundary
+	sfLen      int
+	halfFrame  int
+	detections int
+
+	buf      []complex128 // residual samples not yet forming a full subframe
+	bufStart int          // absolute index of buf[0]
+	records  []DeviceRecord
+}
+
+// NewDevice builds a tag device. The modulator config's timing fields are
+// ignored — alignment comes from the sync circuit.
+func NewDevice(p ltephy.Params, syncCfg SyncConfig, modCfg ModConfig) *Device {
+	modCfg.Params = p
+	modCfg.TimingErrorUnits = 0
+	modCfg.SampleOffset = 0
+	return &Device{
+		p:         p,
+		sync:      NewSyncCircuit(p, syncCfg),
+		mod:       NewModulator(modCfg),
+		sfLen:     p.Oversample * p.BW.SamplesPerSubframe(),
+		halfFrame: 5 * p.Oversample * p.BW.SamplesPerSubframe(),
+	}
+}
+
+// Synced reports whether the device has locked onto the PSS lattice.
+func (d *Device) Synced() bool { return d.synced }
+
+// QueueBits hands payload to the underlying modulator.
+func (d *Device) QueueBits(b []byte) { d.mod.QueueBits(b) }
+
+// SentBits reports the payload bits modulated so far.
+func (d *Device) SentBits() int { return d.mod.SentBits() }
+
+// Records returns and clears the per-symbol modulation log accumulated since
+// the last call.
+func (d *Device) Records() []DeviceRecord {
+	out := d.records
+	d.records = nil
+	return out
+}
+
+// DeviceRecord ties a modulated symbol to its absolute position.
+type DeviceRecord struct {
+	// SubframeStart is the absolute sample index of the (estimated)
+	// subframe the symbol belongs to.
+	SubframeStart int
+	// Subframe is the estimated subframe index within the radio frame.
+	Subframe int
+	// SymbolRecord is the modulator's log entry.
+	SymbolRecord
+}
+
+// Process consumes the next chunk of the incident stream and returns the
+// reflected waveform for exactly those samples.
+func (d *Device) Process(incident []complex128) []complex128 {
+	// The sync circuit always listens.
+	dets := d.sync.Process(incident)
+	for _, det := range dets {
+		d.onDetection(det)
+	}
+	d.buf = append(d.buf, incident...)
+	out := make([]complex128, 0, len(incident))
+	for {
+		if !d.synced {
+			// Park everything buffered: reflect weak static echo.
+			out = append(out, d.mod.ParkedSubframe(d.buf)...)
+			d.bufStart += len(d.buf)
+			d.buf = d.buf[:0]
+			break
+		}
+		// Align the buffer head to the estimated subframe lattice.
+		offset := d.bufStart - d.boundary
+		mod := ((offset % d.sfLen) + d.sfLen) % d.sfLen
+		if mod != 0 {
+			// Emit park output until the next estimated boundary.
+			skip := d.sfLen - mod
+			if skip > len(d.buf) {
+				skip = len(d.buf)
+			}
+			out = append(out, d.mod.ParkedSubframe(d.buf[:skip])...)
+			d.buf = d.buf[skip:]
+			d.bufStart += skip
+			continue
+		}
+		if len(d.buf) < d.sfLen {
+			break
+		}
+		// One full (estimated) subframe available: modulate it.
+		sfIdx := ((d.bufStart - d.boundary) / d.sfLen) % ltephy.SubframesPerFrame
+		if sfIdx < 0 {
+			sfIdx += ltephy.SubframesPerFrame
+		}
+		burst := sfIdx == 0 || sfIdx == 5
+		reflected, recs := d.mod.ModulateSubframe(d.buf[:d.sfLen], sfIdx, burst)
+		for _, rec := range recs {
+			d.records = append(d.records, DeviceRecord{
+				SubframeStart: d.bufStart,
+				Subframe:      sfIdx,
+				SymbolRecord:  rec,
+			})
+		}
+		out = append(out, reflected...)
+		d.buf = d.buf[d.sfLen:]
+		d.bufStart += d.sfLen
+	}
+	d.consumed += len(incident)
+	return out
+}
+
+// onDetection updates the lattice estimate from a PSS detection.
+func (d *Device) onDetection(det Detection) {
+	d.detections++
+	est := d.sync.EstimatePSSTime(det)
+	// The PSS useful part starts UsefulStart(PSSSymbolIndex) into its
+	// subframe; the detected PSS opens a half-frame (subframe 0 or 5 —
+	// the device cannot tell which without SSS, and does not need to:
+	// a 5 ms ambiguity only swaps which bursts carry which preambles).
+	off := float64(ltephy.UsefulStart(d.p, ltephy.PSSSymbolIndex)) / d.p.SampleRate()
+	boundary := int(math.Round((est - off) * d.p.SampleRate()))
+	if !d.synced {
+		if d.detections >= 2 {
+			d.synced = true
+			d.boundary = boundary
+		}
+		return
+	}
+	// Track slowly: snap the lattice phase toward the newest detection.
+	diff := boundary - d.boundary
+	diff = ((diff % d.halfFrame) + d.halfFrame) % d.halfFrame
+	if diff > d.halfFrame/2 {
+		diff -= d.halfFrame
+	}
+	d.boundary += diff / 4 // first-order tracking loop
+}

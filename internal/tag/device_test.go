@@ -1,0 +1,89 @@
+package tag
+
+import (
+	"testing"
+
+	"lscatter/internal/enodeb"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/rng"
+)
+
+func TestDeviceSyncsFromOwnCircuit(t *testing.T) {
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	enb := enodeb.New(cfg)
+	dev := NewDevice(cfg.Params, SyncConfig{}, ModConfig{})
+	dev.QueueBits(rng.New(1).Bits(make([]byte, 500*72)))
+	synced := -1
+	for i := 0; i < 30; i++ {
+		dev.Process(enb.NextSubframe().Samples)
+		if dev.Synced() && synced < 0 {
+			synced = i
+		}
+	}
+	if synced < 0 {
+		t.Fatal("device never synced in 30 ms")
+	}
+	// Warmup (10 ms averaging settle) plus two PSS detections.
+	if synced < 10 || synced > 26 {
+		t.Fatalf("synced at %d ms, want ~15-25", synced)
+	}
+	if dev.SentBits() == 0 {
+		t.Fatal("device never modulated after syncing")
+	}
+}
+
+func TestDeviceRecordsClearOnRead(t *testing.T) {
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	enb := enodeb.New(cfg)
+	dev := NewDevice(cfg.Params, SyncConfig{}, ModConfig{})
+	dev.QueueBits(rng.New(2).Bits(make([]byte, 500*72)))
+	for i := 0; i < 30; i++ {
+		dev.Process(enb.NextSubframe().Samples)
+	}
+	first := dev.Records()
+	if len(first) == 0 {
+		t.Fatal("no records accumulated")
+	}
+	if len(dev.Records()) != 0 {
+		t.Fatal("records not cleared by read")
+	}
+}
+
+func TestDeviceOutputLengthConservation(t *testing.T) {
+	// The device may buffer internally, but over the whole stream it must
+	// emit exactly as many samples as it consumed (up to the final partial
+	// subframe it is still holding).
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	enb := enodeb.New(cfg)
+	dev := NewDevice(cfg.Params, SyncConfig{}, ModConfig{})
+	in, out := 0, 0
+	for i := 0; i < 25; i++ {
+		sf := enb.NextSubframe()
+		in += len(sf.Samples)
+		out += len(dev.Process(sf.Samples))
+	}
+	sfLen := cfg.Params.Oversample * cfg.Params.BW.SamplesPerSubframe()
+	if in-out < 0 || in-out >= sfLen {
+		t.Fatalf("consumed %d, emitted %d (lag %d, max %d)", in, out, in-out, sfLen)
+	}
+}
+
+func TestDeviceSubframeScheduleMod5(t *testing.T) {
+	// The device resolves timing to the 5 ms PSS lattice only; its burst
+	// subframes must land on the true {0,5} lattice regardless of which
+	// PSS it locked to.
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	enb := enodeb.New(cfg)
+	dev := NewDevice(cfg.Params, SyncConfig{}, ModConfig{})
+	dev.QueueBits(rng.New(3).Bits(make([]byte, 2000*72)))
+	for i := 0; i < 40; i++ {
+		dev.Process(enb.NextSubframe().Samples)
+	}
+	sfLen := cfg.Params.Oversample * cfg.Params.BW.SamplesPerSubframe()
+	for _, rec := range dev.Records() {
+		trueSF := (rec.SubframeStart + sfLen/2) / sfLen % ltephy.SubframesPerFrame
+		if rec.Subframe%5 != trueSF%5 {
+			t.Fatalf("device subframe %d maps to true %d (mod-5 broken)", rec.Subframe, trueSF)
+		}
+	}
+}

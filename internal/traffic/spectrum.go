@@ -1,0 +1,139 @@
+package traffic
+
+import (
+	"math"
+
+	"lscatter/internal/dsp"
+	"lscatter/internal/rng"
+)
+
+// bandNoise produces a burst of band-limited complex noise: white Gaussian
+// samples filtered to `bandwidth` around `centerOffset` Hz, normalized to
+// the given power.
+func bandNoise(r *rng.Source, n int, sampleRate, bandwidth, centerOffset, power float64) []complex128 {
+	x := make([]complex128, n)
+	sigma := 1 / math.Sqrt2
+	for i := range x {
+		x[i] = r.Complex(sigma)
+	}
+	fir := dsp.LowPassFIR(bandwidth/2, sampleRate, 63)
+	x = fir.Process(x)
+	if centerOffset != 0 {
+		dsp.Mix(x, centerOffset, sampleRate, 0)
+	}
+	return dsp.ScaleTo(x, power)
+}
+
+// WiFiBandIQ synthesizes a 2.4 GHz channel snapshot for the Figure 4a
+// spectrogram: CSMA WiFi bursts (16.6 MHz wide), narrowband ZigBee frames
+// (2 MHz, offset), and idle gaps, at the given sample rate.
+func WiFiBandIQ(seed uint64, duration, sampleRate float64) []complex128 {
+	r := rng.New(seed)
+	n := int(duration * sampleRate)
+	out := make([]complex128, n)
+	pos := 0
+	for pos < n {
+		// Idle gap: exponential with mean 0.8 ms.
+		gap := int(r.ExpFloat64() * 0.8e-3 * sampleRate)
+		pos += gap
+		if pos >= n {
+			break
+		}
+		// Burst: WiFi frame (0.2-1.5 ms) or ZigBee frame (2-5 ms, they are
+		// slow) with probability ~0.25.
+		if r.Float64() < 0.25 {
+			durS := int((2e-3 + 3e-3*r.Float64()) * sampleRate)
+			if pos+durS > n {
+				durS = n - pos
+			}
+			offset := (r.Float64() - 0.5) * 12e6
+			burst := bandNoise(r, durS, sampleRate, 2e6, offset, 0.3)
+			copy(out[pos:pos+durS], burst)
+			pos += durS
+			continue
+		}
+		durS := int((0.2e-3 + 1.3e-3*r.Float64()) * sampleRate)
+		if pos+durS > n {
+			durS = n - pos
+		}
+		burst := bandNoise(r, durS, sampleRate, 16.6e6, 0, 1.0)
+		copy(out[pos:pos+durS], burst)
+		pos += durS
+	}
+	// Noise floor.
+	for i := range out {
+		out[i] += r.Complex(0.003)
+	}
+	return out
+}
+
+// LoRaBandIQ synthesizes a sparse LoRa channel snapshot: rare narrowband
+// (125 kHz) chirp-length frames over a mostly idle band.
+func LoRaBandIQ(seed uint64, duration, sampleRate float64) []complex128 {
+	r := rng.New(seed)
+	n := int(duration * sampleRate)
+	out := make([]complex128, n)
+	pos := 0
+	for pos < n {
+		gap := int(r.ExpFloat64() * 400e-3 * sampleRate) // mostly idle
+		pos += gap
+		if pos >= n {
+			break
+		}
+		durS := int((20e-3 + 40e-3*r.Float64()) * sampleRate)
+		if pos+durS > n {
+			durS = n - pos
+		}
+		burst := bandNoise(r, durS, sampleRate, 125e3, (r.Float64()-0.5)*400e3, 0.5)
+		copy(out[pos:pos+durS], burst)
+		pos += durS
+	}
+	for i := range out {
+		out[i] += r.Complex(0.003)
+	}
+	return out
+}
+
+// Spectrogram computes the Figure 4-style time-frequency map of an IQ
+// snapshot.
+func Spectrogram(x []complex128, sampleRate float64) *dsp.Spectrogram {
+	return dsp.STFT(x, 256, 128, dsp.Hann, sampleRate)
+}
+
+// MeasuredOccupancy estimates the traffic occupancy ratio of an IQ snapshot:
+// the fraction of STFT frames whose band occupancy exceeds 10% at a -30 dB
+// threshold relative to the snapshot's own peak power (so absolute transmit
+// scale does not matter).
+func MeasuredOccupancy(x []complex128, sampleRate float64) float64 {
+	s := Spectrogram(x, sampleRate)
+	// Threshold relative to the strongest bin observed, so absolute scale
+	// and duty cycle do not bias the measurement.
+	maxDB := -300.0
+	var sum float64
+	var cnt int
+	for _, row := range s.PowerDB {
+		for _, p := range row {
+			if p > maxDB {
+				maxDB = p
+			}
+			sum += p
+			cnt++
+		}
+	}
+	// No signal at all: when the peak barely exceeds the average bin level
+	// the snapshot is pure noise (a strong burst sits tens of dB above it).
+	if cnt == 0 || maxDB-sum/float64(cnt) < 15 {
+		return 0
+	}
+	occ := s.OccupiedFraction(maxDB - 30)
+	busy := 0
+	for _, o := range occ {
+		if o > 0.1 {
+			busy++
+		}
+	}
+	if len(occ) == 0 {
+		return 0
+	}
+	return float64(busy) / float64(len(occ))
+}

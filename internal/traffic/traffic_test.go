@@ -1,0 +1,148 @@
+package traffic
+
+import (
+	"testing"
+
+	"lscatter/internal/rng"
+	"lscatter/internal/stats"
+)
+
+func TestLTEOccupancyAlwaysFull(t *testing.T) {
+	for _, v := range []Venue{Home, Office, Mall, Outdoor} {
+		m := NewModel(LTE, v, 1)
+		for _, s := range m.Series(24, 10) {
+			if s != 1.0 {
+				t.Fatalf("%v: LTE occupancy %v, want 1.0 (Observation 1)", v, s)
+			}
+		}
+	}
+}
+
+func TestLoRaOccupancySparse(t *testing.T) {
+	m := NewModel(LoRa, Home, 2)
+	ser := m.WeekSeries(4)
+	med := stats.Median(ser)
+	if med < 0.005 || med > 0.05 {
+		t.Fatalf("LoRa median occupancy = %v, want ~0.02", med)
+	}
+	if _, hi := stats.MinMax(ser); hi > 0.2 {
+		t.Fatalf("LoRa max occupancy = %v, implausibly high", hi)
+	}
+}
+
+func TestWiFiOfficeMatchesPaperCDF(t *testing.T) {
+	// Fig 4c: office (heaviest site) occupancy < 0.5 for ~80% of the time
+	// and < 0.7 for ~90% of the time.
+	m := NewModel(WiFi, Office, 3)
+	c := stats.NewCDF(m.WeekSeries(12))
+	if p := c.At(0.5); p < 0.70 || p > 0.93 {
+		t.Fatalf("P(occ<0.5) = %v, want ~0.8", p)
+	}
+	if p := c.At(0.7); p < 0.85 || p > 0.985 {
+		t.Fatalf("P(occ<0.7) = %v, want ~0.9", p)
+	}
+}
+
+func TestWiFiVenueOrdering(t *testing.T) {
+	// Office is the heaviest of the three Fig 4c sites; home and classroom
+	// are lighter; outdoor is lightest of all sites.
+	mean := func(v Venue, seed uint64) float64 {
+		return stats.Mean(NewModel(WiFi, v, seed).WeekSeries(8))
+	}
+	office := mean(Office, 4)
+	home := mean(Home, 5)
+	outdoor := mean(Outdoor, 6)
+	if office <= home {
+		t.Fatalf("office %v not heavier than home %v", office, home)
+	}
+	if home <= outdoor {
+		t.Fatalf("home %v not heavier than outdoor %v", home, outdoor)
+	}
+}
+
+func TestWiFiDiurnalShape(t *testing.T) {
+	// Home traffic peaks in the evening (Fig 17: highest 4 pm - 9 pm) and
+	// bottoms out before dawn.
+	m := NewModel(WiFi, Home, 7)
+	avgAt := func(hour float64) float64 {
+		var s float64
+		for i := 0; i < 300; i++ {
+			s += m.Sample(hour)
+		}
+		return s / 300
+	}
+	evening := avgAt(19)
+	dawn := avgAt(4)
+	if evening < 2*dawn {
+		t.Fatalf("evening %v vs dawn %v: diurnal contrast too weak", evening, dawn)
+	}
+}
+
+func TestMallHoursShape(t *testing.T) {
+	m := NewModel(WiFi, Mall, 8)
+	avgAt := func(hour float64) float64 {
+		var s float64
+		for i := 0; i < 300; i++ {
+			s += m.Sample(hour)
+		}
+		return s / 300
+	}
+	if open, closed := avgAt(20), avgAt(3); open < 3*closed {
+		t.Fatalf("mall open %v vs closed %v", open, closed)
+	}
+}
+
+func TestOccupancyBounds(t *testing.T) {
+	for _, tech := range []Tech{LTE, WiFi, LoRa} {
+		m := NewModel(tech, Office, 9)
+		for _, s := range m.Series(48, 20) {
+			if s < 0 || s > 1 {
+				t.Fatalf("%v occupancy %v out of [0,1]", tech, s)
+			}
+		}
+	}
+}
+
+func TestUsableFraction(t *testing.T) {
+	m := NewModel(WiFi, Home, 10)
+	if f := m.WiFiUsableFraction(); f <= 0.5 || f >= 1 {
+		t.Fatalf("usable fraction %v", f)
+	}
+}
+
+func TestWiFiBandIQBursty(t *testing.T) {
+	x := WiFiBandIQ(1, 20e-3, 20e6)
+	if len(x) != 400000 {
+		t.Fatalf("snapshot length %d", len(x))
+	}
+	occ := MeasuredOccupancy(x, 20e6)
+	if occ < 0.1 || occ > 0.9 {
+		t.Fatalf("WiFi measured occupancy = %v, want bursty (0.1-0.9)", occ)
+	}
+}
+
+func TestLoRaBandIQSparse(t *testing.T) {
+	// Over 2 s the duty-cycled channel must be mostly idle.
+	x := LoRaBandIQ(2, 2.0, 1e6)
+	occ := MeasuredOccupancy(x, 1e6)
+	if occ > 0.3 {
+		t.Fatalf("LoRa measured occupancy = %v, want sparse", occ)
+	}
+}
+
+func TestMeasuredOccupancyNoiseOnlyIsZero(t *testing.T) {
+	r := rng.New(9)
+	x := make([]complex128, 100000)
+	for i := range x {
+		x[i] = r.Complex(0.01)
+	}
+	if occ := MeasuredOccupancy(x, 1e6); occ != 0 {
+		t.Fatalf("noise-only occupancy = %v, want 0", occ)
+	}
+}
+
+func TestTechVenueStrings(t *testing.T) {
+	if LTE.String() != "LTE" || Mall.String() != "mall" {
+		t.Fatal("names wrong")
+	}
+}

@@ -1,0 +1,130 @@
+package ue
+
+import (
+	"errors"
+	"math/cmplx"
+
+	"lscatter/internal/dsp"
+	"lscatter/internal/ltephy"
+)
+
+// CellSearchResult is the outcome of blind cell acquisition.
+type CellSearchResult struct {
+	// CellID is the detected physical cell identity (0..503).
+	CellID int
+	// PSSSample is the stream index of the first useful sample of the
+	// detected PSS symbol.
+	PSSSample int
+	// Subframe is 0 or 5: which half-frame the detected PSS opens (resolved
+	// by the SSS).
+	Subframe int
+	// SubframeStart is the stream index of that subframe's first sample.
+	SubframeStart int
+	// PSSCorr is the normalized PSS correlation peak (0..1).
+	PSSCorr float64
+	// SSSMetric is the winning coherent SSS correlation, normalized by the
+	// runner-up (>1 means unambiguous).
+	SSSMetric float64
+}
+
+// CellSearch performs the standard LTE acquisition on a raw sample stream of
+// unknown timing and cell identity: correlate the three PSS roots to find
+// symbol timing and NID2, then coherently match the neighboring SSS symbol
+// (using the PSS itself as the channel-phase reference) to recover NID1 and
+// the half-frame position. The stream must contain at least one full PSS and
+// the SSS symbol preceding it (~6 ms to be safe).
+//
+// bw and oversample describe the waveform; the cell identity fields of the
+// result fill in the rest of a Params for the receive chain.
+func CellSearch(bw ltephy.Bandwidth, oversample int, samples []complex128) (*CellSearchResult, error) {
+	n := bw.FFTSize() * oversample
+	if len(samples) < 2*n+ltephy.SymbolsPerSubframe*n {
+		return nil, errors.New("ue: stream too short for cell search")
+	}
+	// Stage 1: PSS timing and NID2.
+	best := &CellSearchResult{PSSCorr: -1}
+	for nid2 := 0; nid2 < 3; nid2++ {
+		p := ltephy.Params{BW: bw, CellID: nid2, Oversample: oversample}
+		ref := ltephy.PSSTimeDomain(p)
+		lag, peak := dsp.NormalizedCorrPeak(samples, ref)
+		if peak > best.PSSCorr {
+			best.PSSCorr = peak
+			best.PSSSample = lag
+			best.CellID = nid2 // provisional: NID2 only
+		}
+	}
+	if best.PSSCorr < 0.2 {
+		return nil, errors.New("ue: no PSS found")
+	}
+	nid2 := best.CellID
+
+	// Stage 2: SSS. The SSS symbol's useful part ends one CP before the PSS
+	// symbol starts: useful(SSS) = pssStart - cp(PSS) - N.
+	pAny := ltephy.Params{BW: bw, CellID: nid2, Oversample: oversample}
+	cpPss := bw.CPLen(ltephy.PSSSymbolIndex%ltephy.SymbolsPerSlot) * oversample
+	sssStart := best.PSSSample - cpPss - n
+	if sssStart < 0 {
+		return nil, errors.New("ue: stream does not contain the SSS before the PSS")
+	}
+	// Demodulate the 62 central subcarriers of both symbols.
+	central := func(start int) []complex128 {
+		spec := make([]complex128, n)
+		dsp.PlanFor(n).Forward(spec, samples[start:start+n])
+		out := make([]complex128, 62)
+		k := bw.Subcarriers()
+		for i := 0; i < 62; i++ {
+			gridIdx := k/2 - 31 + i
+			out[i] = spec[binOfLocal(gridIdx, k, n)]
+		}
+		return out
+	}
+	yPss := central(best.PSSSample)
+	ySss := central(sssStart)
+	// Channel phase reference from the PSS (known sequence).
+	pssSeq := ltephy.PSS(nid2)
+	h := make([]complex128, 62)
+	for i := range h {
+		h[i] = yPss[i] * cmplx.Conj(pssSeq[i])
+	}
+	// Coherent SSS hypothesis test over NID1 x {0,5}.
+	bestVal, secondVal := -1.0, -1.0
+	bestNID1, bestSF := 0, 0
+	for nid1 := 0; nid1 < 168; nid1++ {
+		for _, sf := range []int{0, 5} {
+			seq := ltephy.SSS(nid1, nid2, sf)
+			var acc complex128
+			for i := range seq {
+				acc += ySss[i] * cmplx.Conj(h[i]) * complex(seq[i], 0)
+			}
+			v := real(acc)
+			if v > bestVal {
+				secondVal = bestVal
+				bestVal, bestNID1, bestSF = v, nid1, sf
+			} else if v > secondVal {
+				secondVal = v
+			}
+		}
+	}
+	if bestVal <= 0 {
+		return nil, errors.New("ue: SSS hypothesis test failed")
+	}
+	best.CellID = 3*bestNID1 + nid2
+	best.Subframe = bestSF
+	if secondVal > 0 {
+		best.SSSMetric = bestVal / secondVal
+	} else {
+		best.SSSMetric = bestVal
+	}
+	best.SubframeStart = best.PSSSample - ltephy.UsefulStart(pAny, ltephy.PSSSymbolIndex)
+	return best, nil
+}
+
+// binOfLocal mirrors the grid-to-FFT-bin mapping of ltephy (subcarrier k of
+// K occupied onto an n-point spectrum, DC skipped).
+func binOfLocal(k, gridK, n int) int {
+	half := gridK / 2
+	if k < half {
+		return (k - half + n) % n
+	}
+	return k - half + 1
+}

@@ -1,0 +1,212 @@
+package ue
+
+import (
+	"testing"
+
+	"lscatter/internal/bits"
+	"lscatter/internal/channel"
+	"lscatter/internal/enodeb"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/rng"
+	"lscatter/internal/tag"
+)
+
+// stream produces a raw sample stream from a cell, with a random-ish prefix
+// of noise so timing is unknown, starting at subframe startSF.
+func searchStream(t *testing.T, cellID, prefix, subframes int, noiseW float64, seed uint64) ([]complex128, ltephy.Params) {
+	t.Helper()
+	p := ltephy.DefaultParams(ltephy.BW1_4)
+	p.CellID = cellID
+	cfg := enodeb.Config{Params: p, Scheme: enodeb.DefaultConfig(ltephy.BW1_4).Scheme, TxPowerDBm: 10, Seed: seed}
+	enb := enodeb.New(cfg)
+	r := rng.New(seed + 1)
+	out := make([]complex128, prefix)
+	channel.AWGN(r, out, 1e-6)
+	for i := 0; i < subframes; i++ {
+		out = append(out, enb.NextSubframe().Samples...)
+	}
+	if noiseW > 0 {
+		channel.AWGN(r, out, noiseW)
+	}
+	return out, p
+}
+
+func TestCellSearchFindsIdentityAndTiming(t *testing.T) {
+	for _, cellID := range []int{0, 7, 151, 503} {
+		prefix := 1000 + int(cellID)*13
+		stream, p := searchStream(t, cellID, prefix, 12, 0, uint64(cellID)+5)
+		res, err := CellSearch(p.BW, p.Oversample, stream)
+		if err != nil {
+			t.Fatalf("cell %d: %v", cellID, err)
+		}
+		if res.CellID != cellID {
+			t.Fatalf("cell %d detected as %d", cellID, res.CellID)
+		}
+		// Any PSS of the stream is acceptable (they repeat every half
+		// frame); timing must land exactly on one, with a consistent
+		// half-frame resolution and subframe boundary.
+		firstPSS := prefix + ltephy.UsefulStart(p, ltephy.PSSSymbolIndex)
+		halfFrame := 5 * p.Oversample * p.BW.SamplesPerSubframe()
+		diff := res.PSSSample - firstPSS
+		if diff < 0 || diff%halfFrame != 0 {
+			t.Fatalf("cell %d: PSS at %d not on the PSS lattice (first %d, period %d)",
+				cellID, res.PSSSample, firstPSS, halfFrame)
+		}
+		wantSF := 0
+		if (diff/halfFrame)%2 == 1 {
+			wantSF = 5
+		}
+		if res.Subframe != wantSF {
+			t.Fatalf("cell %d: half-frame resolved as subframe %d, want %d", cellID, res.Subframe, wantSF)
+		}
+		if res.SubframeStart != res.PSSSample-ltephy.UsefulStart(p, ltephy.PSSSymbolIndex) {
+			t.Fatalf("cell %d: inconsistent subframe boundary", cellID)
+		}
+	}
+}
+
+func TestCellSearchResolvesHalfFrame(t *testing.T) {
+	// Stream starting at subframe 5: the first PSS belongs to subframe 5
+	// and the SSS must say so.
+	p := ltephy.DefaultParams(ltephy.BW1_4)
+	p.CellID = 77
+	cfg := enodeb.Config{Params: p, Scheme: enodeb.DefaultConfig(ltephy.BW1_4).Scheme, TxPowerDBm: 10, Seed: 9}
+	enb := enodeb.New(cfg)
+	// Skip subframes 0..4 so the stream opens at subframe 5.
+	for i := 0; i < 5; i++ {
+		enb.NextSubframe()
+	}
+	var stream []complex128
+	for i := 0; i < 7; i++ {
+		stream = append(stream, enb.NextSubframe().Samples...)
+	}
+	res, err := CellSearch(p.BW, p.Oversample, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellID != 77 {
+		t.Fatalf("cell detected as %d", res.CellID)
+	}
+	if res.Subframe != 5 {
+		t.Fatalf("half-frame resolved as %d, want 5", res.Subframe)
+	}
+}
+
+func TestCellSearchUnderNoise(t *testing.T) {
+	stream, p := searchStream(t, 301, 2000, 12, 0.001, 11) // 10 dB SNR
+	res, err := CellSearch(p.BW, p.Oversample, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellID != 301 {
+		t.Fatalf("noisy search found cell %d, want 301", res.CellID)
+	}
+	if res.SSSMetric < 1.2 {
+		t.Fatalf("SSS decision margin %v too small", res.SSSMetric)
+	}
+}
+
+func TestCellSearchRejectsNoiseOnly(t *testing.T) {
+	r := rng.New(13)
+	stream := make([]complex128, 100000)
+	channel.AWGN(r, stream, 0.01)
+	p := ltephy.DefaultParams(ltephy.BW1_4)
+	if res, err := CellSearch(p.BW, p.Oversample, stream); err == nil {
+		t.Fatalf("cell search 'found' cell %d in pure noise (corr %v)", res.CellID, res.PSSCorr)
+	}
+}
+
+func TestCellSearchTooShort(t *testing.T) {
+	p := ltephy.DefaultParams(ltephy.BW1_4)
+	if _, err := CellSearch(p.BW, p.Oversample, make([]complex128, 100)); err == nil {
+		t.Fatal("short stream accepted")
+	}
+}
+
+// TestBlindAcquisitionToBackscatter is the full cold-start story: the UE
+// knows only the bandwidth, finds the cell and frame timing blind, then
+// receives LTE and demodulates the tag.
+func TestBlindAcquisitionToBackscatter(t *testing.T) {
+	p := ltephy.DefaultParams(ltephy.BW1_4)
+	p.CellID = 123
+	cfg := enodeb.Config{Params: p, Scheme: enodeb.DefaultConfig(ltephy.BW1_4).Scheme, TxPowerDBm: 10, Seed: 21}
+	enb := enodeb.New(cfg)
+	mod := tag.NewModulator(tag.ModConfig{Params: p, TimingErrorUnits: 2, SampleOffset: 1})
+	mod.QueueBits(rng.New(3).Bits(make([]byte, 60*mod.PerSymbolBits())))
+
+	// Build a composite stream with an unknown prefix.
+	r := rng.New(22)
+	prefix := 3777
+	stream := make([]complex128, prefix)
+	channel.AWGN(r, stream, 1e-9)
+	type sfInfo struct {
+		index int
+		recs  []tag.SymbolRecord
+	}
+	var infos []sfInfo
+	for i := 0; i < 3; i++ {
+		sf := enb.NextSubframe()
+		burst := sf.Index == 0 || sf.Index == 5
+		reflected, recs := mod.ModulateSubframe(sf.Samples, sf.Index, burst)
+		composite := make([]complex128, len(sf.Samples))
+		for j := range composite {
+			composite[j] = sf.Samples[j]*1e-2 + reflected[j]*3e-4
+		}
+		stream = append(stream, composite...)
+		infos = append(infos, sfInfo{index: sf.Index, recs: recs})
+	}
+
+	// Blind acquisition.
+	res, err := CellSearch(p.BW, p.Oversample, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellID != 123 || res.SubframeStart != prefix || res.Subframe != 0 {
+		t.Fatalf("acquisition wrong: %+v (want cell 123 at %d)", res, prefix)
+	}
+
+	// Receive from the found boundary with the found identity.
+	rxP := p
+	rxP.CellID = res.CellID
+	lteRx := NewLTEReceiver(rxP, cfg.Scheme)
+	sc := NewScatterDemod(DefaultScatterConfig(rxP))
+	sfLen := p.Oversample * p.BW.SamplesPerSubframe()
+	errs, total := 0, 0
+	for i, info := range infos {
+		start := res.SubframeStart + i*sfLen
+		buf := stream[start : start+sfLen]
+		lte, err := lteRx.ReceiveSubframe(buf, info.index)
+		if err != nil || !lte.OK {
+			t.Fatalf("subframe %d: LTE decode failed after blind acquisition", i)
+		}
+		var sres *ScatterResult
+		if info.index == 0 || info.index == 5 {
+			sres = sc.AcquireBurst(buf, lte.RefSamples, info.index, start)
+			if !sres.Synced {
+				t.Fatal("no preamble after blind acquisition")
+			}
+			d := sc.DemodSubframe(buf, lte.RefSamples, info.index, start, true)
+			sres.Decisions = d.Decisions
+		} else {
+			sres = sc.DemodSubframe(buf, lte.RefSamples, info.index, start, false)
+		}
+		byBits := map[int][]byte{}
+		for _, rec := range info.recs {
+			if rec.Bits != nil && !rec.IsPreamble {
+				byBits[rec.Symbol] = rec.Bits
+			}
+		}
+		for _, dec := range sres.Decisions {
+			if want, ok := byBits[dec.Symbol]; ok {
+				errs += bits.CountDiff(dec.Bits, want)
+				total += len(want)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no bits compared")
+	}
+	if errs != 0 {
+		t.Fatalf("%d/%d errors after blind acquisition", errs, total)
+	}
+}

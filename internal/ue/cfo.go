@@ -1,0 +1,51 @@
+package ue
+
+import (
+	"math"
+	"math/cmplx"
+
+	"lscatter/internal/dsp"
+	"lscatter/internal/ltephy"
+)
+
+// EstimateCFO estimates the carrier-frequency offset between the receiver's
+// local oscillator and the eNodeB, in Hz, from one subframe of samples
+// aligned to the subframe boundary. It uses the classic cyclic-prefix
+// correlation: each CP is a copy of the symbol tail N samples later, so the
+// phase of sum(cp * conj(tail)) advances by 2*pi*f*N/fs.
+//
+// The unambiguous range is ±fs/(2N) = ±7.5 kHz — half the subcarrier
+// spacing, ample for the residual offset of any real LTE UE after cell
+// search.
+func EstimateCFO(p ltephy.Params, samples []complex128) float64 {
+	n := p.BW.FFTSize() * p.Oversample
+	var acc complex128
+	for l := 0; l < ltephy.SymbolsPerSubframe; l++ {
+		start := ltephy.SymbolStart(p, l)
+		cpLen := p.BW.CPLen(l%ltephy.SymbolsPerSlot) * p.Oversample
+		if start+cpLen+n > len(samples) {
+			break
+		}
+		// Correlate CP against the tail it copies.
+		for i := 0; i < cpLen; i++ {
+			acc += cmplx.Conj(samples[start+i]) * samples[start+i+n]
+		}
+	}
+	if acc == 0 {
+		return 0
+	}
+	angle := cmplx.Phase(acc)
+	return angle * p.SampleRate() / (2 * math.Pi * float64(n))
+}
+
+// CorrectCFO removes a frequency offset from samples in place (mixing by
+// -cfoHz), anchored at the absolute stream position startSample so that
+// consecutive subframes stay phase-continuous. It returns the samples.
+func CorrectCFO(p ltephy.Params, samples []complex128, cfoHz float64, startSample int) []complex128 {
+	if cfoHz == 0 {
+		return samples
+	}
+	fs := p.SampleRate()
+	phase0 := -2 * math.Pi * cfoHz * float64(startSample) / fs
+	return dsp.Mix(samples, -cfoHz, fs, phase0)
+}

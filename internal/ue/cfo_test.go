@@ -1,0 +1,172 @@
+package ue
+
+import (
+	"math"
+	"testing"
+
+	"lscatter/internal/channel"
+	"lscatter/internal/dsp"
+	"lscatter/internal/enodeb"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/rng"
+	"lscatter/internal/tag"
+)
+
+func cfoSubframe(t *testing.T, cfoHz float64, noiseW float64) ([]complex128, ltephy.Params, *enodeb.ENodeB) {
+	t.Helper()
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	enb := enodeb.New(cfg)
+	sf := enb.NextSubframe()
+	buf := append([]complex128(nil), sf.Samples...)
+	if cfoHz != 0 {
+		dsp.Mix(buf, cfoHz, cfg.Params.SampleRate(), 0)
+	}
+	if noiseW > 0 {
+		channel.AWGN(rng.New(5), buf, noiseW)
+	}
+	return buf, cfg.Params, enb
+}
+
+func TestEstimateCFOAccuracy(t *testing.T) {
+	for _, cfo := range []float64{0, 150, -800, 2500, -6000} {
+		buf, p, _ := cfoSubframe(t, cfo, 0)
+		got := EstimateCFO(p, buf)
+		if math.Abs(got-cfo) > 20 {
+			t.Errorf("CFO %v Hz estimated as %v", cfo, got)
+		}
+	}
+}
+
+func TestEstimateCFOUnderNoise(t *testing.T) {
+	buf, p, _ := cfoSubframe(t, 1200, 0.001) // 10 dB SNR
+	got := EstimateCFO(p, buf)
+	if math.Abs(got-1200) > 120 {
+		t.Fatalf("noisy CFO estimate %v, want ~1200", got)
+	}
+}
+
+func TestCorrectCFORestoresDecode(t *testing.T) {
+	// 2 kHz CFO (13% of the subcarrier spacing) wrecks the LTE decode;
+	// estimate+correct must restore it.
+	const cfo = 2000.0
+	buf, p, _ := cfoSubframe(t, cfo, 0)
+	direct := applyGain(buf, -40)
+	lteRx := NewLTEReceiver(p, enodeb.DefaultConfig(ltephy.BW1_4).Scheme)
+	res, err := lteRx.ReceiveSubframe(direct, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Log("decode survived raw 2 kHz CFO (soft decoder is strong); continuing")
+	}
+	est := EstimateCFO(p, direct)
+	corrected := CorrectCFO(p, append([]complex128(nil), direct...), est, 0)
+	res2, err := lteRx.ReceiveSubframe(corrected, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.OK {
+		t.Fatal("decode failed after CFO correction")
+	}
+	if res.OK && res2.EVM > res.EVM {
+		t.Fatalf("correction worsened EVM: %v -> %v", res.EVM, res2.EVM)
+	}
+}
+
+func TestCorrectCFOPhaseContinuity(t *testing.T) {
+	// Correcting two consecutive blocks with the right startSample must be
+	// identical to correcting the concatenation.
+	p := ltephy.DefaultParams(ltephy.BW1_4)
+	r := rng.New(9)
+	x := make([]complex128, 4000)
+	for i := range x {
+		x[i] = r.Complex(1)
+	}
+	whole := CorrectCFO(p, append([]complex128(nil), x...), 700, 0)
+	a := CorrectCFO(p, append([]complex128(nil), x[:1500]...), 700, 0)
+	b := CorrectCFO(p, append([]complex128(nil), x[1500:]...), 700, 1500)
+	for i := range a {
+		if d := whole[i] - a[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+			t.Fatal("first block mismatch")
+		}
+	}
+	for i := range b {
+		if d := whole[1500+i] - b[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-16 {
+			t.Fatalf("second block mismatch at %d", i)
+		}
+	}
+}
+
+func TestEndToEndWithCFO(t *testing.T) {
+	// Full chain with a 1.5 kHz UE oscillator offset: the receiver first
+	// estimates and removes the CFO, then everything — LTE decode, preamble
+	// acquisition, backscatter demod — must work as before.
+	const cfo = 1500.0
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	enb := enodeb.New(cfg)
+	p := cfg.Params
+	mod := tag.NewModulator(tag.ModConfig{Params: p, TimingErrorUnits: 2, SampleOffset: 1})
+	mod.QueueBits(rng.New(3).Bits(make([]byte, 40*mod.PerSymbolBits())))
+	lteRx := NewLTEReceiver(p, cfg.Scheme)
+	sc := NewScatterDemod(DefaultScatterConfig(p))
+	errs, total := 0, 0
+	startSample := 0
+	for i := 0; i < 2; i++ {
+		sf := enb.NextSubframe()
+		burst := sf.Index == 0 || sf.Index == 5
+		reflected, recs := mod.ModulateSubframe(sf.Samples, sf.Index, burst)
+		rx := make([]complex128, len(sf.Samples))
+		for j := range rx {
+			rx[j] = sf.Samples[j]*complex(1e-2, 0) + reflected[j]*complex(3e-4, 0)
+		}
+		// The UE's LO offset rotates the whole received stream.
+		dsp.Mix(rx, cfo, p.SampleRate(), 2*math.Pi*cfo*float64(startSample)/p.SampleRate())
+		// Receiver front end: estimate and remove.
+		est := EstimateCFO(p, rx)
+		if math.Abs(est-cfo) > 60 {
+			t.Fatalf("CFO estimate %v, want ~%v", est, cfo)
+		}
+		CorrectCFO(p, rx, est, startSample)
+
+		lte, err := lteRx.ReceiveSubframe(rx, sf.Index)
+		if err != nil || !lte.OK {
+			t.Fatalf("subframe %d: LTE decode failed under corrected CFO", i)
+		}
+		var res *ScatterResult
+		if burst {
+			res = sc.AcquireBurst(rx, lte.RefSamples, sf.Index, startSample)
+			if !res.Synced {
+				t.Fatal("no preamble sync under corrected CFO")
+			}
+			d := sc.DemodSubframe(rx, lte.RefSamples, sf.Index, startSample, true)
+			res.Decisions = d.Decisions
+		} else {
+			res = sc.DemodSubframe(rx, lte.RefSamples, sf.Index, startSample, false)
+		}
+		byBits := map[int][]byte{}
+		for _, rec := range recs {
+			if rec.Bits != nil && !rec.IsPreamble {
+				byBits[rec.Symbol] = rec.Bits
+			}
+		}
+		for _, dec := range res.Decisions {
+			if want, ok := byBits[dec.Symbol]; ok {
+				for k := range want {
+					if want[k] != dec.Bits[k] {
+						errs++
+					}
+					total++
+				}
+			}
+		}
+		startSample += len(rx)
+	}
+	if total == 0 {
+		t.Fatal("no bits compared")
+	}
+	// The residual CFO estimate error (a few Hz) leaves a slow phase drift
+	// across the burst; allow a small error rate.
+	if ber := float64(errs) / float64(total); ber > 0.02 {
+		t.Fatalf("BER under corrected CFO = %v (%d/%d)", ber, errs, total)
+	}
+}

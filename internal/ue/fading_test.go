@@ -1,0 +1,102 @@
+package ue
+
+import (
+	"testing"
+
+	"lscatter/internal/bits"
+	"lscatter/internal/channel"
+	"lscatter/internal/enodeb"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/rng"
+	"lscatter/internal/tag"
+)
+
+// runFadingChain pushes subframes through a chain whose backscatter path
+// gain evolves per subframe (AR(1) fading). When reacquire is set, every
+// burst subframe re-runs preamble acquisition (re-estimating the channel);
+// otherwise only the first burst is used and later subframes ride the stale
+// estimate.
+func runFadingChain(t *testing.T, rho float64, subframes int, reacquire bool) float64 {
+	t.Helper()
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	enb := enodeb.New(cfg)
+	p := cfg.Params
+	mod := tag.NewModulator(tag.ModConfig{Params: p, TimingErrorUnits: 2, SampleOffset: 1})
+	mod.QueueBits(rng.New(3).Bits(make([]byte, subframes*12*mod.PerSymbolBits())))
+	lteRx := NewLTEReceiver(p, cfg.Scheme)
+	sc := NewScatterDemod(DefaultScatterConfig(p))
+	fade := channel.NewFadingTrack(rng.New(44), rho)
+	r := rng.New(45)
+	errs, total := 0, 0
+	acquired := false
+	startSample := 0
+	for i := 0; i < subframes; i++ {
+		sf := enb.NextSubframe()
+		burst := sf.Index == 0 || sf.Index == 5
+		reflected, recs := mod.ModulateSubframe(sf.Samples, sf.Index, burst)
+		scat := fade.Apply(applyGain(reflected, -68))
+		rx := channel.Combine(r, 0, applyGain(sf.Samples, -40), scat)
+		lte, err := lteRx.ReceiveSubframe(rx, sf.Index)
+		if err != nil || !lte.OK {
+			startSample += len(rx)
+			continue
+		}
+		var res *ScatterResult
+		if burst && (reacquire || !acquired) {
+			res = sc.AcquireBurst(rx, lte.RefSamples, sf.Index, startSample)
+			if res.Synced {
+				acquired = true
+				d := sc.DemodSubframe(rx, lte.RefSamples, sf.Index, startSample, true)
+				res.Decisions = d.Decisions
+			}
+		} else {
+			res = sc.DemodSubframe(rx, lte.RefSamples, sf.Index, startSample, burst)
+		}
+		startSample += len(rx)
+		byBits := map[int][]byte{}
+		for _, rec := range recs {
+			if rec.Bits != nil && !rec.IsPreamble {
+				byBits[rec.Symbol] = rec.Bits
+			}
+		}
+		for _, dec := range res.Decisions {
+			if want, ok := byBits[dec.Symbol]; ok && len(want) == len(dec.Bits) {
+				errs += bits.CountDiff(dec.Bits, want)
+				total += len(want)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no bits compared")
+	}
+	return float64(errs) / float64(total)
+}
+
+func TestPerBurstReacquisitionTracksFading(t *testing.T) {
+	// With pedestrian-speed fading (rho 0.99 per ms), the per-burst channel
+	// re-estimation keeps BER low.
+	ber := runFadingChain(t, 0.99, 20, true)
+	if ber > 0.005 {
+		t.Fatalf("BER with re-acquisition = %v", ber)
+	}
+}
+
+func TestStaleChannelEstimateFails(t *testing.T) {
+	// The same fading with a single acquisition at t=0: the stale phase
+	// reference must visibly degrade decisions — this is why the tag opens
+	// every 5 ms burst with a preamble.
+	stale := runFadingChain(t, 0.99, 20, false)
+	fresh := runFadingChain(t, 0.99, 20, true)
+	if stale < 3*fresh {
+		t.Fatalf("stale estimate BER %v not clearly worse than fresh %v", stale, fresh)
+	}
+}
+
+func TestSlowFadingIsForgiving(t *testing.T) {
+	// Near-static channels barely drift within a burst interval: even the
+	// stale estimate survives for a while.
+	ber := runFadingChain(t, 0.999, 10, false)
+	if ber > 0.05 {
+		t.Fatalf("BER under near-static fading with stale estimate = %v", ber)
+	}
+}

@@ -1,0 +1,156 @@
+package ue
+
+import (
+	"testing"
+
+	"lscatter/internal/bits"
+	"lscatter/internal/channel"
+	"lscatter/internal/dsp"
+	"lscatter/internal/enodeb"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/rng"
+	"lscatter/internal/tag"
+)
+
+// TestPreamblesDistinguishable checks the multi-tag preamble family has low
+// pairwise correlation.
+func TestPreamblesDistinguishable(t *testing.T) {
+	const n = 1200
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			pa, pb := tag.PreambleFor(a, n), tag.PreambleFor(b, n)
+			agree := n - bits.CountDiff(pa, pb)
+			// Random sequences agree on ~n/2 positions.
+			if agree < n*4/10 || agree > n*6/10 {
+				t.Errorf("preambles %d,%d agree on %d/%d positions", a, b, agree, n)
+			}
+		}
+	}
+}
+
+// TestTwoTagsTDMA runs two tags alternating 5 ms bursts: each burst the
+// active tag modulates while the other parks; the UE identifies the sender
+// by preamble and demodulates its data without cross-tag errors.
+func TestTwoTagsTDMA(t *testing.T) {
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	enb := enodeb.New(cfg)
+	p := cfg.Params
+
+	mods := []*tag.Modulator{
+		tag.NewModulator(tag.ModConfig{Params: p, ID: 1, TimingErrorUnits: 3, SampleOffset: 1}),
+		tag.NewModulator(tag.ModConfig{Params: p, ID: 2, TimingErrorUnits: -5, SampleOffset: 2}),
+	}
+	r := rng.New(77)
+	for _, m := range mods {
+		m.QueueBits(r.Bits(make([]byte, 60*m.PerSymbolBits())))
+	}
+
+	lteRx := NewLTEReceiver(p, cfg.Scheme)
+	scfg := DefaultScatterConfig(p)
+	scfg.TagIDs = []int{1, 2}
+	sc := NewScatterDemod(scfg)
+
+	gains := []float64{-68, -72} // slightly different link budgets
+	identified := map[int]int{}
+	errsByTag := map[int]int{}
+	totalByTag := map[int]int{}
+	startSample := 0
+	for sfIdx := 0; sfIdx < 10; sfIdx++ {
+		sf := enb.NextSubframe()
+		// Burst owner alternates every 5 ms (subframes 0-4 -> tag 1, 5-9 -> tag 2).
+		owner := (sfIdx / 5) % 2
+		burst := sf.Index == 0 || sf.Index == 5
+		var paths [][]complex128
+		paths = append(paths, applyGain(sf.Samples, -40)) // direct
+		var recs []tag.SymbolRecord
+		for i, m := range mods {
+			if i == owner {
+				var refl []complex128
+				refl, recs = m.ModulateSubframe(sf.Samples, sf.Index, burst)
+				paths = append(paths, applyGain(refl, gains[i]))
+			} else {
+				paths = append(paths, applyGain(m.ParkedSubframe(sf.Samples), gains[i]))
+			}
+		}
+		rx := channel.Combine(r, 0, paths...)
+		lte, err := lteRx.ReceiveSubframe(rx, sf.Index)
+		if err != nil || !lte.OK {
+			t.Fatalf("subframe %d: LTE decode failed", sfIdx)
+		}
+		var res *ScatterResult
+		if burst {
+			sc.Reset()
+			res = sc.AcquireBurst(rx, lte.RefSamples, sf.Index, startSample)
+			if !res.Synced {
+				t.Fatalf("subframe %d: burst not acquired", sfIdx)
+			}
+			identified[res.TagID]++
+			if res.TagID != owner+1 {
+				t.Fatalf("subframe %d: identified tag %d, owner is %d", sfIdx, res.TagID, owner+1)
+			}
+			d := sc.DemodSubframe(rx, lte.RefSamples, sf.Index, startSample, true)
+			res.Decisions = d.Decisions
+		} else {
+			res = sc.DemodSubframe(rx, lte.RefSamples, sf.Index, startSample, false)
+		}
+		byBits := map[int][]byte{}
+		for _, rec := range recs {
+			if rec.Bits != nil && !rec.IsPreamble {
+				byBits[rec.Symbol] = rec.Bits
+			}
+		}
+		for _, dec := range res.Decisions {
+			want, ok := byBits[dec.Symbol]
+			if !ok {
+				continue
+			}
+			errsByTag[owner] += bits.CountDiff(dec.Bits, want)
+			totalByTag[owner] += len(want)
+		}
+		startSample += len(rx)
+	}
+	for owner := 0; owner < 2; owner++ {
+		if totalByTag[owner] == 0 {
+			t.Fatalf("no bits compared for tag %d", owner+1)
+		}
+		if errsByTag[owner] != 0 {
+			t.Fatalf("tag %d: %d/%d bit errors on a clean channel", owner+1, errsByTag[owner], totalByTag[owner])
+		}
+	}
+	if identified[1] == 0 || identified[2] == 0 {
+		t.Fatalf("tag identification counts: %v", identified)
+	}
+}
+
+// TestParkedTagQuietInShiftedBand verifies a parked tag leaves the shifted
+// backscatter band clean.
+func TestParkedTagQuietInShiftedBand(t *testing.T) {
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	enb := enodeb.New(cfg)
+	p := cfg.Params
+	m := tag.NewModulator(tag.ModConfig{Params: p})
+	sf := enb.NextSubframe()
+	parked := m.ParkedSubframe(sf.Samples)
+	n := p.BW.FFTSize() * p.Oversample
+	start := ltephy.UsefulStart(p, 3)
+	spec := dsp.FFT(append([]complex128(nil), parked[start:start+n]...))
+	nn := p.BW.FFTSize()
+	k := p.BW.Subcarriers()
+	var shifted, inband float64
+	for b, v := range spec {
+		f := b
+		if f > n/2 {
+			f -= n
+		}
+		pw := real(v)*real(v) + imag(v)*imag(v)
+		if f >= nn-k/2 && f <= nn+k/2 {
+			shifted += pw
+		}
+		if f >= -k/2 && f <= k/2 {
+			inband += pw
+		}
+	}
+	if shifted > 1e-9*inband {
+		t.Fatalf("parked tag leaks into the shifted band: %v vs %v", shifted, inband)
+	}
+}

@@ -1,0 +1,338 @@
+package ue
+
+import (
+	"math"
+	"testing"
+
+	"lscatter/internal/bits"
+	"lscatter/internal/channel"
+	"lscatter/internal/dsp"
+	"lscatter/internal/enodeb"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/rng"
+	"lscatter/internal/tag"
+)
+
+// chain wires eNodeB -> tag -> two-hop channel -> UE for tests.
+type chain struct {
+	enb     *enodeb.ENodeB
+	mod     *tag.Modulator
+	lteRx   *LTEReceiver
+	scatter *ScatterDemod
+	r       *rng.Source
+
+	directGainDB  float64
+	scatterGainDB float64
+	noiseW        float64
+	directMP      *channel.Multipath
+	scatterMP     *channel.Multipath
+	startSample   int
+}
+
+func newChain(t testing.TB, bw ltephy.Bandwidth, timingErr, sampleOff int) *chain {
+	t.Helper()
+	cfg := enodeb.DefaultConfig(bw)
+	c := &chain{
+		enb: enodeb.New(cfg),
+		mod: tag.NewModulator(tag.ModConfig{
+			Params:           cfg.Params,
+			TimingErrorUnits: timingErr,
+			SampleOffset:     sampleOff,
+		}),
+		lteRx:         NewLTEReceiver(cfg.Params, cfg.Scheme),
+		scatter:       NewScatterDemod(DefaultScatterConfig(cfg.Params)),
+		r:             rng.New(99),
+		directGainDB:  -40,
+		scatterGainDB: -70,
+	}
+	return c
+}
+
+// step runs one subframe through the chain and returns the tag records, the
+// LTE result and the scatter result.
+func (c *chain) step(t testing.TB, burst bool) ([]tag.SymbolRecord, *LTEResult, *ScatterResult) {
+	t.Helper()
+	sf := c.enb.NextSubframe()
+	reflected, recs := c.mod.ModulateSubframe(sf.Samples, sf.Index, burst)
+
+	direct := applyGain(sf.Samples, c.directGainDB)
+	if c.directMP != nil {
+		direct = c.directMP.Apply(direct)
+	}
+	scat := applyGain(reflected, c.scatterGainDB)
+	if c.scatterMP != nil {
+		scat = c.scatterMP.Apply(scat)
+	}
+	rx := channel.Combine(c.r, c.noiseW, direct, scat)
+
+	lte, err := c.lteRx.ReceiveSubframe(rx, sf.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sres *ScatterResult
+	if lte.OK {
+		if burst {
+			sres = c.scatter.AcquireBurst(rx, lte.RefSamples, sf.Index, c.startSample)
+			if sres.Synced {
+				d := c.scatter.DemodSubframe(rx, lte.RefSamples, sf.Index, c.startSample, true)
+				sres.Decisions = d.Decisions
+			}
+		} else {
+			sres = c.scatter.DemodSubframe(rx, lte.RefSamples, sf.Index, c.startSample, false)
+		}
+	}
+	c.startSample += len(sf.Samples)
+	// Verify the LTE payload while we are here.
+	if lte.OK && bits.CountDiff(lte.Payload, sf.Payload) != 0 {
+		t.Fatal("LTE decode OK but payload differs")
+	}
+	return recs, lte, sres
+}
+
+func applyGain(x []complex128, db float64) []complex128 {
+	g := complex(math.Pow(10, db/20), 0)
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = v * g
+	}
+	return out
+}
+
+// countErrors compares demodulated decisions against the tag's records.
+func countErrors(t testing.TB, recs []tag.SymbolRecord, res *ScatterResult) (errs, total int) {
+	t.Helper()
+	byBits := map[int][]byte{}
+	for _, r := range recs {
+		if r.Bits != nil && !r.IsPreamble {
+			byBits[r.Symbol] = r.Bits
+		}
+	}
+	for _, d := range res.Decisions {
+		want, okSym := byBits[d.Symbol]
+		if !okSym {
+			continue // symbol carried no payload (idle '1's)
+		}
+		if len(want) != len(d.Bits) {
+			t.Fatalf("symbol %d: %d decided bits vs %d sent", d.Symbol, len(d.Bits), len(want))
+		}
+		errs += bits.CountDiff(d.Bits, want)
+		total += len(want)
+	}
+	return errs, total
+}
+
+func TestLTEReceiverCleanDecode(t *testing.T) {
+	c := newChain(t, ltephy.BW1_4, 0, 0)
+	_, lte, _ := c.step(t, false)
+	if !lte.OK {
+		t.Fatal("clean LTE decode failed")
+	}
+	if lte.RefSamples == nil || lte.Grid == nil {
+		t.Fatal("no excitation regenerated")
+	}
+	if lte.EVM > 0.05 {
+		t.Fatalf("clean EVM = %v", lte.EVM)
+	}
+}
+
+func TestLTEReceiverWithMultipath(t *testing.T) {
+	c := newChain(t, ltephy.BW1_4, 0, 0)
+	c.directMP = channel.NewMultipath(rng.New(5), channel.PedestrianProfile, c.enb.Config().Params.SampleRate())
+	_, lte, _ := c.step(t, false)
+	if !lte.OK {
+		t.Fatal("LTE decode through multipath failed")
+	}
+}
+
+func TestLTEReceiverNoiseEstimate(t *testing.T) {
+	c := newChain(t, ltephy.BW1_4, 0, 0)
+	c.noiseW = dsp.FromDB(-40) * dsp.FromDB(c.directGainDB) * 0.01 // ~20 dB below direct
+	_, lte, _ := c.step(t, false)
+	if !lte.OK {
+		t.Fatal("decode at high SNR failed")
+	}
+	if lte.NoiseVar <= 0 {
+		t.Fatal("noise estimate not positive")
+	}
+}
+
+func TestEndToEndBackscatterNoiseless(t *testing.T) {
+	// The core correctness test: perfect-channel BER must be exactly zero,
+	// including tag timing error and sub-unit sample offset (phase offset).
+	for _, tc := range []struct{ timing, sample int }{{0, 0}, {5, 1}, {-7, 3}} {
+		c := newChain(t, ltephy.BW1_4, tc.timing, tc.sample)
+		payload := rng.New(3).Bits(make([]byte, 40*c.mod.PerSymbolBits()))
+		c.mod.QueueBits(payload)
+		recs0, _, s0 := c.step(t, true) // subframe 0: burst with preamble
+		if s0 == nil || !s0.Synced {
+			t.Fatalf("timing %+d/%d: preamble not acquired", tc.timing, tc.sample)
+		}
+		if s0.OffsetUnits != tc.timing {
+			t.Fatalf("offset estimate %d, want %d", s0.OffsetUnits, tc.timing)
+		}
+		errs, total := countErrors(t, recs0, s0)
+		recs1, _, s1 := c.step(t, false)
+		e1, t1 := countErrors(t, recs1, s1)
+		errs, total = errs+e1, total+t1
+		if total == 0 {
+			t.Fatal("no bits compared")
+		}
+		if errs != 0 {
+			t.Fatalf("timing %+d/%d: %d/%d bit errors on a clean channel", tc.timing, tc.sample, errs, total)
+		}
+	}
+}
+
+func TestEndToEndBackscatterWithNoise(t *testing.T) {
+	c := newChain(t, ltephy.BW1_4, 3, 2)
+	// Noise 25 dB below the backscatter signal power.
+	scatP := dsp.FromDB(c.scatterGainDB) * 0.01 // tx 10 dBm, -6 dB tag loss folded in signal
+	c.noiseW = scatP * dsp.FromDB(-25)
+	c.mod.QueueBits(rng.New(4).Bits(make([]byte, 40*c.mod.PerSymbolBits())))
+	recs0, _, s0 := c.step(t, true)
+	if !s0.Synced {
+		t.Fatal("preamble not acquired under noise")
+	}
+	errs, total := countErrors(t, recs0, s0)
+	recs1, _, s1 := c.step(t, false)
+	e1, t1 := countErrors(t, recs1, s1)
+	errs, total = errs+e1, total+t1
+	ber := float64(errs) / float64(total)
+	if ber > 0.01 {
+		t.Fatalf("BER at 25 dB scatter SNR = %v (%d/%d)", ber, errs, total)
+	}
+}
+
+func TestEndToEndBackscatterMultipath(t *testing.T) {
+	c := newChain(t, ltephy.BW1_4, 2, 1)
+	sr := c.enb.Config().Params.SampleRate()
+	c.directMP = channel.NewMultipath(rng.New(6), channel.PedestrianProfile, sr)
+	c.scatterMP = channel.NewMultipath(rng.New(7), channel.PedestrianProfile, sr)
+	c.mod.QueueBits(rng.New(8).Bits(make([]byte, 40*c.mod.PerSymbolBits())))
+	recs0, _, s0 := c.step(t, true)
+	if !s0.Synced {
+		t.Fatal("preamble not acquired through multipath")
+	}
+	errs, total := countErrors(t, recs0, s0)
+	recs1, _, s1 := c.step(t, false)
+	e1, t1 := countErrors(t, recs1, s1)
+	errs, total = errs+e1, total+t1
+	ber := float64(errs) / float64(total)
+	if ber > 0.02 {
+		t.Fatalf("BER through multipath = %v (%d/%d)", ber, errs, total)
+	}
+}
+
+func TestScatterNoFalseSyncWithoutTag(t *testing.T) {
+	// Without any backscatter, acquisition must not report sync.
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	enb := enodeb.New(cfg)
+	lteRx := NewLTEReceiver(cfg.Params, cfg.Scheme)
+	sc := NewScatterDemod(DefaultScatterConfig(cfg.Params))
+	sf := enb.NextSubframe()
+	r := rng.New(11)
+	rx := channel.Combine(r, 1e-9, applyGain(sf.Samples, -40))
+	lte, err := lteRx.ReceiveSubframe(rx, sf.Index)
+	if err != nil || !lte.OK {
+		t.Fatal("LTE decode failed")
+	}
+	res := sc.AcquireBurst(rx, lte.RefSamples, sf.Index, 0)
+	if res.Synced {
+		t.Fatalf("false preamble sync without a tag (corr %v)", res.PreambleCorr)
+	}
+}
+
+func TestScatterDemodWithoutSyncReturnsNothing(t *testing.T) {
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	sc := NewScatterDemod(DefaultScatterConfig(cfg.Params))
+	n := cfg.Params.Oversample * cfg.Params.BW.SamplesPerSubframe()
+	res := sc.DemodSubframe(make([]complex128, n), make([]complex128, n), 1, 0, false)
+	if res.Synced || len(res.Decisions) != 0 {
+		t.Fatal("demod produced decisions without sync")
+	}
+}
+
+func TestCleanBinsExcludeDirectPath(t *testing.T) {
+	cfg := ltephy.DefaultParams(ltephy.BW1_4)
+	sc := NewScatterDemod(DefaultScatterConfig(cfg))
+	n := cfg.BW.FFTSize() * cfg.Oversample
+	nn := cfg.BW.FFTSize()
+	k := cfg.BW.Subcarriers()
+	for b := 0; b < n; b++ {
+		f := b
+		if f > n/2 {
+			f -= n
+		}
+		if f >= -nn-k/2 && f <= -nn+k/2 && sc.cleanBin[b] {
+			t.Fatalf("clean bin %d inside direct-path region", b)
+		}
+	}
+	if sc.CleanBinCount() < nn/2 {
+		t.Fatalf("only %d clean bins", sc.CleanBinCount())
+	}
+}
+
+func TestThroughputAccountingPerSubframe(t *testing.T) {
+	// 1.4 MHz: 72 bits/symbol, 12 data symbols in a plain subframe.
+	c := newChain(t, ltephy.BW1_4, 0, 0)
+	c.mod.QueueBits(make([]byte, 1000*72))
+	c.step(t, true) // sf 0: 10 data symbols, 1 preamble -> 9 payload symbols
+	if got := c.mod.SentBits(); got != 9*72 {
+		t.Fatalf("burst subframe sent %d bits, want %d", got, 9*72)
+	}
+	c.step(t, false) // sf 1: 12 payload symbols
+	if got := c.mod.SentBits(); got != (9+12)*72 {
+		t.Fatalf("after sf1 sent %d bits, want %d", got, (9+12)*72)
+	}
+}
+
+func TestScatterDemodValidatesInputs(t *testing.T) {
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	sc := NewScatterDemod(DefaultScatterConfig(cfg.Params))
+	n := cfg.Params.Oversample * cfg.Params.BW.SamplesPerSubframe()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("short rx", func() {
+		sc.AcquireBurst(make([]complex128, 10), make([]complex128, n), 0, 0)
+	})
+	mustPanic("short ref", func() {
+		sc.AcquireBurst(make([]complex128, n), make([]complex128, 10), 0, 0)
+	})
+	mustPanic("bad subframe", func() {
+		sc.AcquireBurst(make([]complex128, n), make([]complex128, n), 10, 0)
+	})
+}
+
+func TestMIBDecodedAndTracked(t *testing.T) {
+	// The UE must recover the MIB (bandwidth + SFN) from subframe 0 of each
+	// frame and see the SFN advance.
+	c := newChain(t, ltephy.BW1_4, 0, 0)
+	var sfns []int
+	for i := 0; i < 12; i++ {
+		_, lte, _ := c.step(t, c.enb.SubframeCount()%10 == 1 || c.enb.SubframeCount()%10 == 6)
+		if !lte.OK {
+			t.Fatalf("subframe %d: LTE decode failed", i)
+		}
+		if i%10 == 0 {
+			if lte.MIB == nil {
+				t.Fatalf("frame %d: no MIB decoded", i/10)
+			}
+			if lte.MIB.BW != ltephy.BW1_4 {
+				t.Fatalf("MIB bandwidth %v", lte.MIB.BW)
+			}
+			sfns = append(sfns, lte.MIB.SFN)
+		} else if lte.MIB != nil {
+			t.Fatalf("subframe %d reported a MIB", i)
+		}
+	}
+	if len(sfns) != 2 || sfns[1] != sfns[0]+1 {
+		t.Fatalf("SFN sequence %v, want consecutive", sfns)
+	}
+}

@@ -1,0 +1,81 @@
+package wifiphy
+
+import (
+	"errors"
+	"math"
+)
+
+// This file demonstrates FreeRider-style codeword translation on the
+// bit-true 802.11g substrate: the tag flips the phase of whole OFDM symbols
+// (one tag bit per two symbols), which a standard receiver's pilot tracking
+// absorbs — the WiFi frame still decodes with a valid FCS — while the
+// per-symbol common phase exposes the embedded bits to a backscatter-aware
+// receiver. One bit per two 4 us symbols is the 125 kbps ceiling that makes
+// the contrast with LScatter's per-unit modulation (Figure 23's three orders
+// of magnitude) concrete at the waveform level.
+
+// SymbolsPerTagBit is FreeRider's modulation granularity.
+const SymbolsPerTagBit = 2
+
+// TagCapacity returns how many tag bits fit on a frame with the given
+// number of data symbols.
+func TagCapacity(dataSymbols int) int { return dataSymbols / SymbolsPerTagBit }
+
+// TagModulate applies symbol-level phase flips to a modulated frame: tag bit
+// '1' leaves a symbol pair unchanged, '0' rotates both symbols by pi. The
+// preamble and SIGNAL symbol pass through untouched so any receiver can
+// still acquire and decode the frame. It returns the reflected waveform and
+// the number of tag bits embedded.
+func TagModulate(frame []complex128, tagBits []byte, reflectLossDB float64) ([]complex128, int, error) {
+	headerLen := 320 + SymbolLen // preamble + SIG
+	if len(frame) < headerLen+SymbolLen {
+		return nil, 0, errors.New("wifiphy: frame too short to carry tag bits")
+	}
+	dataSymbols := (len(frame) - headerLen) / SymbolLen
+	capacity := TagCapacity(dataSymbols)
+	n := len(tagBits)
+	if n > capacity {
+		n = capacity
+	}
+	amp := complex(math.Pow(10, -reflectLossDB/20), 0)
+	out := make([]complex128, len(frame))
+	for i, v := range frame {
+		out[i] = v * amp
+	}
+	for b := 0; b < n; b++ {
+		if tagBits[b] == 1 {
+			continue // phase 0
+		}
+		for s := 0; s < SymbolsPerTagBit; s++ {
+			start := headerLen + (b*SymbolsPerTagBit+s)*SymbolLen
+			for i := start; i < start+SymbolLen; i++ {
+				out[i] = -out[i]
+			}
+		}
+	}
+	return out, n, nil
+}
+
+// RecoverTagBits reads the embedded tag bits from a decoded frame's
+// per-symbol pilot phases: a pair of symbols sitting near ±pi carries '0',
+// near 0 carries '1'.
+func RecoverTagBits(rx *RxFrame, n int) []byte {
+	if n > TagCapacity(len(rx.SymbolPhases)) {
+		n = TagCapacity(len(rx.SymbolPhases))
+	}
+	out := make([]byte, 0, n)
+	for b := 0; b < n; b++ {
+		// Average the pair's |phase| distance from pi vs 0 on the unit
+		// circle (phases wrap, so compare via cos).
+		var c float64
+		for s := 0; s < SymbolsPerTagBit; s++ {
+			c += math.Cos(rx.SymbolPhases[b*SymbolsPerTagBit+s])
+		}
+		if c >= 0 {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}

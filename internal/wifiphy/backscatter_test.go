@@ -1,0 +1,92 @@
+package wifiphy
+
+import (
+	"testing"
+
+	"lscatter/internal/bits"
+	"lscatter/internal/channel"
+	"lscatter/internal/dsp"
+	"lscatter/internal/rng"
+)
+
+func TestTagModulateKeepsFrameDecodable(t *testing.T) {
+	r := rng.New(11)
+	payload := r.Bits(make([]byte, 8*80))
+	frame, err := Modulate(Frame{Rate: Rate6, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := TagCapacity((len(frame) - 400) / SymbolLen)
+	tagBits := r.Bits(make([]byte, capacity))
+	hybrid, n, err := TagModulate(frame, tagBits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != capacity {
+		t.Fatalf("embedded %d bits, capacity %d", n, capacity)
+	}
+	rx, err := Demodulate(hybrid, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's point (§2.3/C1 analog for WiFi): symbol-level flips keep
+	// the host protocol decodable because pilot tracking absorbs them.
+	if !rx.FCSOK || bits.CountDiff(rx.Payload, payload) != 0 {
+		t.Fatal("symbol flips broke the WiFi frame")
+	}
+	got := RecoverTagBits(rx, n)
+	if bits.CountDiff(got, tagBits[:n]) != 0 {
+		t.Fatal("tag bits not recovered from pilot phases")
+	}
+}
+
+func TestTagBitsSurviveNoise(t *testing.T) {
+	r := rng.New(12)
+	payload := r.Bits(make([]byte, 8*80))
+	frame, _ := Modulate(Frame{Rate: Rate6, Payload: payload})
+	capacity := TagCapacity((len(frame) - 400) / SymbolLen)
+	tagBits := r.Bits(make([]byte, capacity))
+	hybrid, n, _ := TagModulate(frame, tagBits, 0)
+	sigP := dsp.Power(hybrid)
+	noiseVar := sigP / dsp.FromDB(15)
+	channel.AWGN(r, hybrid, noiseVar)
+	rx, err := Demodulate(hybrid, noiseVar/sigP)
+	if err != nil || !rx.FCSOK {
+		t.Fatal("frame lost at 15 dB")
+	}
+	got := RecoverTagBits(rx, n)
+	if errs := bits.CountDiff(got, tagBits[:n]); errs > n/50 {
+		t.Fatalf("%d/%d tag bit errors at 15 dB", errs, n)
+	}
+}
+
+func TestFreeRiderRateIsThreeOrdersBelowLScatter(t *testing.T) {
+	// The waveform-level ground truth behind Figure 23's gap: one tag bit
+	// per two 4 us symbols = 125 kbps, vs LScatter's 1200 bits per 71.4 us
+	// symbol ~ 13.68 Mbps.
+	freeRider := 1.0 / (SymbolsPerTagBit * 4e-6)
+	if freeRider != 125e3 {
+		t.Fatalf("FreeRider ceiling = %v", freeRider)
+	}
+	lscatter := 13.68e6
+	if ratio := lscatter / freeRider; ratio < 100 || ratio > 120 {
+		t.Fatalf("rate ratio %v, want ~109 (x occupancy gap in deployment)", ratio)
+	}
+}
+
+func TestTagModulateReflectionLoss(t *testing.T) {
+	r := rng.New(13)
+	payload := r.Bits(make([]byte, 8*20))
+	frame, _ := Modulate(Frame{Rate: Rate6, Payload: payload})
+	hybrid, _, _ := TagModulate(frame, []byte{1, 0, 1}, 6)
+	ratio := dsp.Power(hybrid) / dsp.Power(frame)
+	if db := dsp.DB(ratio); db > -5.8 || db < -6.2 {
+		t.Fatalf("reflection loss %v dB, want -6", db)
+	}
+}
+
+func TestTagModulateShortFrame(t *testing.T) {
+	if _, _, err := TagModulate(make([]complex128, 100), []byte{1}, 0); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package wifiphy
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+
+	"lscatter/internal/bits"
+	"lscatter/internal/dsp"
+	"lscatter/internal/modem"
+)
+
+// sigInfoBits is the information content of our SIGNAL symbol: 4 rate bits,
+// 12 length bits (payload bits / 8, as octets), 2 reserved. With the 6-bit
+// convolutional tail this codes to exactly one BPSK symbol (48 coded bits).
+const sigInfoBits = 18
+
+// Frame is one 802.11g PPDU.
+type Frame struct {
+	// Rate is the data-section MCS.
+	Rate Rate
+	// Payload is the MAC payload in bits (any length; an FCS is appended).
+	Payload []byte
+}
+
+// conv is the industry K=7 g=(133,171) code — shared with the LTE substrate.
+var conv = bits.NewConvCodeR12()
+
+// perSymbolInterleaver spreads coded bits across a symbol's subcarriers.
+func perSymbolInterleaver() *bits.BlockInterleaver { return bits.NewBlockInterleaver(16) }
+
+// Modulate serializes a frame to 20 Msps baseband samples: preamble, SIGNAL
+// symbol, then the coded/scrambled/interleaved data symbols.
+func Modulate(f Frame) ([]complex128, error) {
+	if len(f.Payload)%8 != 0 {
+		return nil, errors.New("wifiphy: payload must be whole octets")
+	}
+	octets := len(f.Payload) / 8
+	if octets >= 1<<12 {
+		return nil, errors.New("wifiphy: payload too long for the SIG length field")
+	}
+	out := Preamble()
+
+	// SIGNAL symbol: BPSK rate-1/2, no scrambling, pilot polarity of symbol 0.
+	sig := make([]byte, sigInfoBits)
+	for i := 0; i < 4; i++ {
+		sig[i] = byte(int(f.Rate) >> (3 - i) & 1)
+	}
+	for i := 0; i < 12; i++ {
+		sig[4+i] = byte(octets >> (11 - i) & 1)
+	}
+	sigCoded := perSymbolInterleaver().Interleave(conv.Encode(sig))
+	out = append(out, dataSymbol(modem.Map(modem.BPSK, sigCoded), 0)...)
+
+	// DATA: FCS, scramble, encode, interleave per symbol, map.
+	data := bits.AttachCRC32(f.Payload)
+	scramble(data, 0x5d)
+	coded := conv.Encode(data)
+	bps := f.Rate.BitsPerSymbol()
+	// Pad the final symbol with zeros.
+	for len(coded)%bps != 0 {
+		coded = append(coded, 0)
+	}
+	inter := perSymbolInterleaver()
+	scheme := f.Rate.scheme()
+	for s := 0; s*bps < len(coded); s++ {
+		symBits := inter.Interleave(coded[s*bps : (s+1)*bps])
+		out = append(out, dataSymbol(modem.Map(scheme, symBits), s+1)...)
+	}
+	return out, nil
+}
+
+// dataSymbol maps 48 constellation points onto one OFDM symbol with pilots
+// and guard interval.
+func dataSymbol(points []complex128, symIdx int) []complex128 {
+	if len(points) != DataCarriers {
+		panic(fmt.Sprintf("wifiphy: %d points for a symbol, want %d", len(points), DataCarriers))
+	}
+	freq := make([]complex128, FFTSize)
+	for i, k := range dataCarrierIndex {
+		freq[bin(k)] = points[i]
+	}
+	pol := pilotPolarity[symIdx%len(pilotPolarity)]
+	pilots := [4]float64{1, 1, 1, -1}
+	for i, k := range pilotIndex {
+		freq[bin(k)] = complex(pol*pilots[i], 0)
+	}
+	td := make([]complex128, FFTSize)
+	dsp.PlanFor(FFTSize).Inverse(td, freq)
+	dsp.Scale(td, FFTSize/8) // ~unit average power over 52 carriers
+	out := make([]complex128, 0, SymbolLen)
+	out = append(out, td[FFTSize-GI:]...)
+	return append(out, td...)
+}
+
+// RxFrame is a decoded frame with reception diagnostics.
+type RxFrame struct {
+	Rate    Rate
+	Payload []byte
+	// FCSOK reports whether the CRC-32 verified.
+	FCSOK bool
+	// SymbolPhases records the per-symbol common phase (radians) measured
+	// from the pilots, after channel equalization — the observable a
+	// symbol-level backscatter receiver keys on.
+	SymbolPhases []float64
+	// DataSymbols is the number of data symbols consumed.
+	DataSymbols int
+}
+
+// Demodulate decodes a frame from samples beginning at the preamble start
+// (use DetectPacket to find it). noiseVar scales the soft-decision LLRs.
+func Demodulate(x []complex128, noiseVar float64) (*RxFrame, error) {
+	if len(x) < 320+SymbolLen {
+		return nil, errors.New("wifiphy: too short for preamble and SIG")
+	}
+	// Channel estimation from the two long symbols (at 192 and 256).
+	ref := ltfFreqRef()
+	plan := dsp.PlanFor(FFTSize)
+	h := make([]complex128, FFTSize)
+	spec := make([]complex128, FFTSize)
+	for _, off := range []int{192, 256} {
+		plan.Forward(spec, x[off:off+FFTSize])
+		for b := range h {
+			if ref[b] != 0 {
+				h[b] += spec[b] * cmplx.Conj(ref[b]) / 2
+			}
+		}
+	}
+	eq := func(start, symIdx int) ([]complex128, float64) {
+		plan.Forward(spec, x[start+GI:start+SymbolLen])
+		// Pilot common-phase estimate.
+		pol := pilotPolarity[symIdx%len(pilotPolarity)]
+		pilots := [4]float64{1, 1, 1, -1}
+		var acc complex128
+		for i, k := range pilotIndex {
+			b := bin(k)
+			if h[b] == 0 {
+				continue
+			}
+			acc += spec[b] / h[b] * complex(pol*pilots[i], 0)
+		}
+		phase := cmplx.Phase(acc)
+		rot := cmplx.Exp(complex(0, -phase))
+		out := make([]complex128, DataCarriers)
+		for i, k := range dataCarrierIndex {
+			b := bin(k)
+			if h[b] != 0 {
+				out[i] = spec[b] / h[b] * rot
+			}
+		}
+		return out, phase
+	}
+
+	// SIGNAL symbol.
+	sigStart := 320
+	sigPts, _ := eq(sigStart, 0)
+	sigLLR := modem.DemapSoft(modem.BPSK, sigPts, noiseVar)
+	deint := make([]float64, len(sigLLR))
+	for i, src := range perSymbolInterleaver().Permutation(len(sigLLR)) {
+		deint[src] = sigLLR[i]
+	}
+	sig := conv.DecodeSoft(deint)
+	if sig == nil {
+		return nil, errors.New("wifiphy: SIG decode failed")
+	}
+	rate := 0
+	for i := 0; i < 4; i++ {
+		rate = rate<<1 | int(sig[i])
+	}
+	if rate > int(Rate24) {
+		return nil, fmt.Errorf("wifiphy: SIG rate field %d invalid", rate)
+	}
+	octets := 0
+	for i := 0; i < 12; i++ {
+		octets = octets<<1 | int(sig[4+i])
+	}
+	rx := &RxFrame{Rate: Rate(rate)}
+	scheme := rx.Rate.scheme()
+	bps := rx.Rate.BitsPerSymbol()
+	codedLen := conv.EncodedLen(octets*8 + 32)
+	nSyms := (codedLen + bps - 1) / bps
+	if 320+SymbolLen*(1+nSyms) > len(x) {
+		return nil, fmt.Errorf("wifiphy: frame claims %d symbols, stream too short", nSyms)
+	}
+	inter := perSymbolInterleaver()
+	var llr []float64
+	for s := 0; s < nSyms; s++ {
+		pts, phase := eq(320+SymbolLen*(1+s), s+1)
+		rx.SymbolPhases = append(rx.SymbolPhases, phase)
+		symLLR := modem.DemapSoft(scheme, pts, noiseVar)
+		d := make([]float64, len(symLLR))
+		for i, src := range inter.Permutation(len(symLLR)) {
+			d[src] = symLLR[i]
+		}
+		llr = append(llr, d...)
+	}
+	rx.DataSymbols = nSyms
+	dec := conv.DecodeSoft(llr[:codedLen])
+	if dec == nil {
+		return nil, errors.New("wifiphy: data decode failed")
+	}
+	scramble(dec, 0x5d) // descramble (self-inverse with the same seed)
+	payload, ok := bits.CheckCRC32(dec)
+	rx.Payload = payload
+	rx.FCSOK = ok
+	return rx, nil
+}

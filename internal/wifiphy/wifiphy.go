@@ -1,0 +1,134 @@
+// Package wifiphy implements an IEEE 802.11g (ERP-OFDM) physical layer: the
+// 64-point OFDM numerology, the short/long training preamble, per-symbol
+// scrambling/coding/interleaving, pilot phase tracking and frame
+// encapsulation with an FCS.
+//
+// It serves two purposes in this repository: it is the bit-true substrate
+// for the FreeRider-style WiFi backscatter baseline (internal/baseline keeps
+// the calibrated analytic model for the wide sweeps; this package grounds
+// it at the waveform level), and it demonstrates §6's claim that LScatter's
+// mechanisms are generic to OFDM carriers — the same symbol-level phase
+// flipping the baseline tag applies here rides 4 us WiFi symbols exactly as
+// LScatter's units ride 71.4 us LTE symbols.
+package wifiphy
+
+import (
+	"fmt"
+
+	"lscatter/internal/modem"
+)
+
+// 802.11 OFDM numerology.
+const (
+	// FFTSize is the OFDM transform size.
+	FFTSize = 64
+	// GI is the guard-interval length in samples (0.8 us at 20 Msps).
+	GI = 16
+	// SymbolLen is GI + FFTSize = 80 samples (4 us).
+	SymbolLen = GI + FFTSize
+	// SampleRate is 20 Msps.
+	SampleRate = 20e6
+	// DataCarriers is the number of data subcarriers per symbol.
+	DataCarriers = 48
+)
+
+// dataCarrierIndex lists the signed subcarrier indices of the 48 data
+// carriers (±1..±26 excluding the pilots at ±7 and ±21).
+var dataCarrierIndex = buildDataCarriers()
+
+// pilotIndex lists the pilot subcarriers.
+var pilotIndex = [4]int{-21, -7, 7, 21}
+
+func buildDataCarriers() []int {
+	var out []int
+	for k := -26; k <= 26; k++ {
+		if k == 0 || k == -21 || k == -7 || k == 7 || k == 21 {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// Rate is an 802.11g modulation-coding scheme.
+type Rate int
+
+const (
+	// Rate6 is BPSK rate-1/2 (6 Mbps).
+	Rate6 Rate = iota
+	// Rate12 is QPSK rate-1/2 (12 Mbps).
+	Rate12
+	// Rate24 is 16-QAM rate-1/2 (24 Mbps).
+	Rate24
+)
+
+// scheme returns the constellation for a rate.
+func (r Rate) scheme() modem.Scheme {
+	switch r {
+	case Rate6:
+		return modem.BPSK
+	case Rate12:
+		return modem.QPSK
+	case Rate24:
+		return modem.QAM16
+	}
+	panic(fmt.Sprintf("wifiphy: unknown rate %d", r))
+}
+
+// String names the rate.
+func (r Rate) String() string {
+	switch r {
+	case Rate6:
+		return "6Mbps"
+	case Rate12:
+		return "12Mbps"
+	case Rate24:
+		return "24Mbps"
+	}
+	return fmt.Sprintf("Rate(%d)", int(r))
+}
+
+// BitsPerSymbol returns the coded bits carried by one OFDM symbol.
+func (r Rate) BitsPerSymbol() int { return DataCarriers * r.scheme().BitsPerSymbol() }
+
+// Mbps returns the nominal information rate in Mbit/s.
+func (r Rate) Mbps() float64 {
+	return float64(r.BitsPerSymbol()) / 2 /*rate 1/2*/ / 4e-6 / 1e6
+}
+
+// scramble applies the 802.11 frame-synchronous scrambler (x^7 + x^4 + 1)
+// with the given 7-bit seed, in place, returning b.
+func scramble(b []byte, seed byte) []byte {
+	state := seed & 0x7f
+	if state == 0 {
+		state = 0x5d
+	}
+	for i := range b {
+		fb := (state>>6 ^ state>>3) & 1
+		state = state<<1&0x7f | fb
+		b[i] ^= fb
+	}
+	return b
+}
+
+// bin maps a signed subcarrier index to an FFT bin.
+func bin(k int) int {
+	if k < 0 {
+		return k + FFTSize
+	}
+	return k
+}
+
+// pilotPolarity is the 127-bit pilot polarity sequence (scrambler output for
+// an all-ones seed), indexed by symbol number.
+var pilotPolarity = buildPilotPolarity()
+
+func buildPilotPolarity() []float64 {
+	b := make([]byte, 127)
+	scramble(b, 0x7f)
+	out := make([]float64, 127)
+	for i, v := range b {
+		out[i] = 1 - 2*float64(v)
+	}
+	return out
+}

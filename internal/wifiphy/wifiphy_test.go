@@ -1,0 +1,196 @@
+package wifiphy
+
+import (
+	"math"
+	"testing"
+
+	"lscatter/internal/bits"
+	"lscatter/internal/channel"
+	"lscatter/internal/dsp"
+	"lscatter/internal/rng"
+)
+
+func TestNumerology(t *testing.T) {
+	if len(dataCarrierIndex) != 48 {
+		t.Fatalf("%d data carriers, want 48", len(dataCarrierIndex))
+	}
+	for _, k := range dataCarrierIndex {
+		if k == 0 || k < -26 || k > 26 {
+			t.Fatalf("data carrier %d out of range", k)
+		}
+		for _, p := range pilotIndex {
+			if k == p {
+				t.Fatalf("data carrier %d collides with pilot", k)
+			}
+		}
+	}
+	if Rate6.Mbps() != 6 || Rate12.Mbps() != 12 || Rate24.Mbps() != 24 {
+		t.Fatalf("rates: %v %v %v", Rate6.Mbps(), Rate12.Mbps(), Rate24.Mbps())
+	}
+}
+
+func TestScramblerSelfInverse(t *testing.T) {
+	r := rng.New(1)
+	b := r.Bits(make([]byte, 500))
+	orig := append([]byte(nil), b...)
+	scramble(b, 0x5d)
+	if bits.CountDiff(b, orig) < 100 {
+		t.Fatal("scrambler barely changed the data")
+	}
+	scramble(b, 0x5d)
+	if bits.CountDiff(b, orig) != 0 {
+		t.Fatal("scrambler not self-inverse")
+	}
+}
+
+func TestPreambleStructure(t *testing.T) {
+	p := Preamble()
+	if len(p) != 320 {
+		t.Fatalf("preamble length %d, want 320", len(p))
+	}
+	// STF periodicity: 16-sample period over the first 160 samples.
+	for i := 0; i+16 < 160; i++ {
+		if d := p[i] - p[i+16]; abs2(d) > 1e-18 {
+			t.Fatalf("STF not 16-periodic at %d", i)
+		}
+	}
+	// LTF: the two long symbols are identical.
+	for i := 0; i < 64; i++ {
+		if d := p[192+i] - p[256+i]; abs2(d) > 1e-18 {
+			t.Fatalf("LTF symbols differ at %d", i)
+		}
+	}
+}
+
+func TestModulateDemodulateClean(t *testing.T) {
+	r := rng.New(3)
+	for _, rate := range []Rate{Rate6, Rate12, Rate24} {
+		payload := r.Bits(make([]byte, 8*40))
+		x, err := Modulate(Frame{Rate: rate, Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, err := Demodulate(x, 0.01)
+		if err != nil {
+			t.Fatalf("%v: %v", rate, err)
+		}
+		if !rx.FCSOK {
+			t.Fatalf("%v: FCS failed on a clean channel", rate)
+		}
+		if rx.Rate != rate {
+			t.Fatalf("SIG decoded rate %v, want %v", rx.Rate, rate)
+		}
+		if bits.CountDiff(rx.Payload, payload) != 0 {
+			t.Fatalf("%v: payload corrupted", rate)
+		}
+	}
+}
+
+func TestDemodulateWithNoiseAndChannel(t *testing.T) {
+	r := rng.New(4)
+	payload := r.Bits(make([]byte, 8*60))
+	x, err := Modulate(Frame{Rate: Rate12, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static complex channel gain + 15 dB SNR noise.
+	g := complex(0.05, 0.08)
+	for i := range x {
+		x[i] *= g
+	}
+	sigP := dsp.Power(x)
+	noiseVar := sigP / dsp.FromDB(15)
+	channel.AWGN(r, x, noiseVar)
+	rx, err := Demodulate(x, noiseVar/sigP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rx.FCSOK || bits.CountDiff(rx.Payload, payload) != 0 {
+		t.Fatal("frame lost at 15 dB SNR through a complex channel")
+	}
+}
+
+func TestDetectPacket(t *testing.T) {
+	r := rng.New(5)
+	payload := r.Bits(make([]byte, 8*20))
+	frame, _ := Modulate(Frame{Rate: Rate6, Payload: payload})
+	const prefix = 777
+	x := make([]complex128, prefix)
+	channel.AWGN(r, x, 1e-6)
+	x = append(x, frame...)
+	x = append(x, make([]complex128, 200)...)
+	start, conf, ok := DetectPacket(x)
+	if !ok {
+		t.Fatal("packet not detected")
+	}
+	if conf < 0.8 {
+		t.Fatalf("detection confidence %v", conf)
+	}
+	if start != prefix {
+		t.Fatalf("packet start %d, want %d", start, prefix)
+	}
+	// End-to-end from the detected start.
+	rx, err := Demodulate(x[start:], 0.01)
+	if err != nil || !rx.FCSOK {
+		t.Fatalf("decode from detected start failed: %v", err)
+	}
+}
+
+func TestDetectPacketRejectsNoise(t *testing.T) {
+	r := rng.New(6)
+	x := make([]complex128, 5000)
+	channel.AWGN(r, x, 0.1)
+	if _, _, ok := DetectPacket(x); ok {
+		t.Fatal("detector fired on pure noise")
+	}
+}
+
+func TestFCSCatchesCorruption(t *testing.T) {
+	r := rng.New(7)
+	payload := r.Bits(make([]byte, 8*30))
+	x, _ := Modulate(Frame{Rate: Rate6, Payload: payload})
+	// Heavy noise: the decode may fail or the FCS must catch the damage.
+	channel.AWGN(r, x, dsp.Power(x)*2)
+	rx, err := Demodulate(x, 2)
+	if err == nil && rx.FCSOK && bits.CountDiff(rx.Payload, payload) != 0 {
+		t.Fatal("FCS passed on corrupted payload")
+	}
+}
+
+func TestSymbolPhasesNearZeroWithoutBackscatter(t *testing.T) {
+	r := rng.New(8)
+	payload := r.Bits(make([]byte, 8*50))
+	x, _ := Modulate(Frame{Rate: Rate6, Payload: payload})
+	rx, err := Demodulate(x, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ph := range rx.SymbolPhases {
+		if math.Abs(ph) > 0.05 {
+			t.Fatalf("symbol %d common phase %v without any impairment", i, ph)
+		}
+	}
+}
+
+func BenchmarkModulateFrame(b *testing.B) {
+	r := rng.New(1)
+	payload := r.Bits(make([]byte, 8*100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Modulate(Frame{Rate: Rate12, Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDemodulateFrame(b *testing.B) {
+	r := rng.New(1)
+	payload := r.Bits(make([]byte, 8*100))
+	x, _ := Modulate(Frame{Rate: Rate12, Payload: payload})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Demodulate(x, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,15 +2,24 @@
 
 GO ?= go
 
-.PHONY: all test vet bench figures examples cover clean
+.PHONY: all test race vet docs-check bench figures examples cover clean
 
 all: vet test
 
 test:
 	$(GO) test ./...
 
+# Full suite under the race detector; the experiment pool and waveform cache
+# must stay race-clean.
+race:
+	$(GO) test -race ./...
+
 vet:
 	$(GO) build ./... && $(GO) vet ./...
+
+# Every package and command must carry a doc comment (see tools/docscheck.sh).
+docs-check:
+	sh tools/docscheck.sh
 
 # Regenerate every paper table/figure, the ablations and the validation.
 figures:

@@ -11,6 +11,7 @@ package lscatter
 // cmd/lscatter-bench prints.
 
 import (
+	"context"
 	"testing"
 
 	"lscatter/internal/channel"
@@ -104,6 +105,40 @@ func BenchmarkValidationModelVsChain(b *testing.B) { benchArtifact(b, "V1") }
 func BenchmarkFig3Coverage(b *testing.B)    { benchArtifact(b, "F3") }
 func BenchmarkInterferencePSD(b *testing.B) { benchArtifact(b, "I1") }
 func BenchmarkMultiTagScaling(b *testing.B) { benchArtifact(b, "M1") }
+
+// Whole-harness benchmarks: every artifact, sequential vs worker pool. Both
+// reset the shared waveform cache each iteration so they measure cold runs
+// and stay comparable; the pool's speedup over sequential scales with the
+// cores available (on a single-core runner the two are equivalent).
+
+var harnessSink []*experiments.Result
+
+// BenchmarkAllSequential regenerates every artifact on one worker.
+func BenchmarkAllSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ltephy.SharedCache.Reset()
+		harnessSink = experiments.All(1)
+	}
+	if len(harnessSink) == 0 {
+		b.Fatal("harness produced no results")
+	}
+}
+
+// BenchmarkAllParallel regenerates every artifact on an 8-worker pool. Its
+// output is byte-identical to BenchmarkAllSequential by construction.
+func BenchmarkAllParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ltephy.SharedCache.Reset()
+		var err error
+		harnessSink, err = experiments.RunAll(context.Background(), 1, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(harnessSink) == 0 {
+		b.Fatal("harness produced no results")
+	}
+}
 
 // System micro-benchmarks: the end-to-end chain itself.
 

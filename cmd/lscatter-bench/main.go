@@ -5,24 +5,47 @@
 //
 //	lscatter-bench -list
 //	lscatter-bench -id F23 [-seed 7]
-//	lscatter-bench -all
+//	lscatter-bench -all [-parallel 8] [-metrics out.json]
+//
+// With -all, artifacts run on a worker pool (-parallel N; 0 selects NumCPU,
+// 1 — the default — is sequential). The output is deterministic: each
+// artifact's seed derives from -seed and its ID, so any worker count prints
+// identical tables. -metrics writes a JSON report of per-artifact wall time,
+// allocations and waveform-cache hit rate; see docs/BENCHMARKS.md.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"lscatter/internal/experiments"
 )
 
+// writeMetrics serializes the run report to path.
+func writeMetrics(path string, rep *experiments.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	var (
-		id   = flag.String("id", "", "artifact to regenerate (e.g. T1, F4c, F16, F23, F32, P48)")
-		all  = flag.Bool("all", false, "regenerate every artifact")
-		list = flag.Bool("list", false, "list artifact IDs")
-		seed = flag.Uint64("seed", 1, "random seed")
+		id       = flag.String("id", "", "artifact to regenerate (e.g. T1, F4c, F16, F23, F32, P48)")
+		all      = flag.Bool("all", false, "regenerate every artifact")
+		list     = flag.Bool("list", false, "list artifact IDs")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", 1, "worker count for -all (0 = NumCPU, 1 = sequential)")
+		metrics  = flag.String("metrics", "", "write a JSON metrics report to this file")
 	)
 	flag.Parse()
 
@@ -30,16 +53,38 @@ func main() {
 	case *list:
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 	case *all:
-		for _, res := range experiments.All(*seed) {
+		start := time.Now()
+		results, err := experiments.RunAll(context.Background(), *seed, *parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		wall := time.Since(start)
+		for _, res := range results {
 			fmt.Println(res.Render())
 		}
+		if *metrics != "" {
+			rep := experiments.BuildReport(*seed, *parallel, wall, results)
+			if err := writeMetrics(*metrics, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	case *id != "":
-		runner, ok := experiments.Lookup(*id)
+		start := time.Now()
+		res, ok := experiments.RunOne(*id, *seed)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown artifact %q; known: %s\n", *id, strings.Join(experiments.IDs(), ", "))
 			os.Exit(2)
 		}
-		fmt.Println(runner(*seed).Render())
+		fmt.Println(res.Render())
+		if *metrics != "" {
+			rep := experiments.BuildReport(*seed, 1, time.Since(start), []*experiments.Result{res})
+			if err := writeMetrics(*metrics, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -5,17 +5,53 @@
 //
 //	lscatter-sim -bw 20 -enb-tag 3 -tag-ue 80 -power 10 -exponent 2.2
 //	lscatter-sim -bw 1.4 -mode exact -subframes 5
+//	lscatter-sim -sweep 10:200:10 -parallel 0
+//
+// A -sweep evaluates one link per distance step; -parallel fans the points
+// out over a worker pool (0 = NumCPU). Every point is seeded independently,
+// so the printed table is identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"lscatter/internal/channel"
 	"lscatter/internal/core"
 	"lscatter/internal/ltephy"
 )
+
+// sweepPoints evaluates one core.Run per distance on a pool of workers and
+// returns the reports in point order.
+func sweepPoints(cfgs []core.LinkConfig, workers int) []core.LinkReport {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	reports := make([]core.LinkReport, len(cfgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				reports[i] = core.Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return reports
+}
 
 func bandwidthFlag(v string) (ltephy.Bandwidth, error) {
 	for _, bw := range ltephy.Bandwidths {
@@ -39,6 +75,7 @@ func main() {
 		subframes = flag.Int("subframes", 5, "subframes to simulate in exact mode")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		sweep     = flag.String("sweep", "", "sweep tag-to-UE distance: \"start:stop:step\" in feet, prints a table")
+		parallel  = flag.Int("parallel", 1, "worker count for -sweep (0 = NumCPU, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -70,14 +107,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bad sweep %q, want start:stop:step in feet\n", *sweep)
 			os.Exit(2)
 		}
-		fmt.Printf("tag-UE (ft)  throughput (Mbps)  BER        scatter SNR (dB)\n")
+		var dists []float64
+		var cfgs []core.LinkConfig
 		for d := start; d <= stop+1e-9; d += step {
 			c := cfg
 			c.TagToUEM = channel.FeetToMeters(d)
 			c.ENodeBToUEM = channel.FeetToMeters(*enbTag + d)
-			rep := core.Run(c)
+			dists = append(dists, d)
+			cfgs = append(cfgs, c)
+		}
+		reports := sweepPoints(cfgs, *parallel)
+		fmt.Printf("tag-UE (ft)  throughput (Mbps)  BER        scatter SNR (dB)\n")
+		for i, rep := range reports {
 			fmt.Printf("%-11.0f  %-17.3f  %-9.3g  %.1f\n",
-				d, rep.ThroughputBps/1e6, rep.BER, rep.ScatterSNRdB)
+				dists[i], rep.ThroughputBps/1e6, rep.BER, rep.ScatterSNRdB)
 		}
 		return
 	}

@@ -11,10 +11,16 @@
 //   - internal/ltephy, internal/enodeb — the LTE downlink substrate
 //   - internal/tag, internal/ue — the paper's contribution: sync circuit,
 //     basic-timing-unit modulator, and the hybrid-signal demodulator
-//   - internal/experiments — per-figure reproduction runners
+//   - internal/experiments — per-figure reproduction runners, the
+//     deterministic worker pool (RunAll) and per-run metrics
 //   - examples/ — runnable demonstrations
+//   - docs/ — ARCHITECTURE.md (signal path, cache, pool) and BENCHMARKS.md
+//     (how to measure, recorded baselines)
 //
-// The root-level benchmarks in bench_test.go regenerate each paper artifact:
+// Regeneration is deterministic: per-artifact seeds derive from the master
+// seed, so `lscatter-bench -all` prints byte-identical tables at any
+// -parallel worker count. The root-level benchmarks in bench_test.go
+// regenerate each paper artifact:
 //
 //	go test -bench=Fig -benchmem .
 package lscatter

@@ -1,4 +1,5 @@
-// Continuous authentication (paper §5): an EMG wearable streams muscle
+// Command continuousauth demonstrates continuous authentication (paper §5):
+// an EMG wearable streams muscle
 // activity over LScatter; a laptop-side classifier re-authenticates the
 // wearer several times per second and locks the session the moment the
 // biometrics stop matching.

@@ -1,4 +1,4 @@
-// Multi-tag: two LScatter tags share one LTE excitation by TDMA over 5 ms
+// Command multitag shows two LScatter tags sharing one LTE excitation by TDMA over 5 ms
 // bursts, identifying themselves with distinct preambles. Idle tags park
 // their switch, leaving the shifted band clean for the active one — the
 // spectrum-sharing direction §6 of the paper sketches.

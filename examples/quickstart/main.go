@@ -1,4 +1,4 @@
-// Quickstart: drive the full bit-true LScatter chain end to end — an eNodeB
+// Command quickstart drives the full bit-true LScatter chain end to end — an eNodeB
 // generating continuous LTE downlink, a tag piggybacking a text message by
 // basic-timing-unit phase modulation, a two-hop wireless channel, and a UE
 // that decodes the LTE transport blocks, regenerates the clean excitation,

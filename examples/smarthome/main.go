@@ -1,4 +1,4 @@
-// Smart home: a suite of battery-free sensors shares one LScatter link by
+// Command smarthome models a smart home: a suite of battery-free sensors shares one LScatter link by
 // TDMA over the continuous LTE excitation, and the same telemetry demand is
 // priced against a WiFi-backscatter deployment whose excitation comes and
 // goes with the household's WiFi activity.

@@ -1,4 +1,4 @@
-// Spectrum survey: reproduce the paper's motivating measurement (§2) — a
+// Command spectrumsurvey reproduces the paper's motivating measurement (§2) — a
 // week of occupancy statistics for LTE, WiFi and LoRa across venues, plus
 // synthesized 20 ms band snapshots showing why bursty spectra starve a
 // backscatter tag.

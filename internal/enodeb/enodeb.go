@@ -21,6 +21,10 @@ type Config struct {
 	TxPowerDBm float64
 	// Seed drives the payload generator.
 	Seed uint64
+	// NoCache bypasses ltephy.SharedCache for this eNodeB. The cache is
+	// bit-transparent (a hit returns exactly what the modulator would
+	// produce), so this exists only for A/B measurements and tests.
+	NoCache bool
 }
 
 // DefaultConfig returns a 10 dBm QPSK eNodeB at the given bandwidth.
@@ -48,14 +52,25 @@ type Subframe struct {
 	DataREs int
 }
 
-// ENodeB generates a continuous downlink subframe stream. It is not safe for
-// concurrent use.
+// ENodeB generates a continuous downlink subframe stream. A single ENodeB is
+// not safe for concurrent use, but distinct instances may run on concurrent
+// goroutines: the only state they share is ltephy.SharedCache, which is
+// concurrency-safe.
 type ENodeB struct {
 	cfg   Config
 	codec *Codec
 	rnd   *rng.Source
 	sfn   int     // absolute subframe counter
 	gain  float64 // deterministic amplitude scale to reach TxPowerDBm
+}
+
+// modulate runs the OFDM modulator through the shared waveform cache unless
+// this eNodeB opted out. The returned slice is owned by the caller.
+func (e *ENodeB) modulate(g *ltephy.Grid) []complex128 {
+	if e.cfg.NoCache {
+		return ltephy.Modulate(g)
+	}
+	return ltephy.SharedCache.Modulate(g)
 }
 
 // New builds an eNodeB. It panics on invalid parameters.
@@ -73,6 +88,11 @@ func New(cfg Config) *ENodeB {
 	// (sync and CRS mapped normally, including the PSS boost). The gain is
 	// then a single constant for the whole stream, so a backscatter channel
 	// estimate from one subframe holds for all.
+	// The reference frame depends only on Params, so the per-subframe
+	// waveforms hit ltephy.SharedCache for every eNodeB after the first
+	// with the same numerology — New drops from 10 IFFT subframes to 10
+	// lookups, which matters because the sweep experiments construct a
+	// fresh eNodeB per evaluated point.
 	var p float64
 	for sf := 0; sf < ltephy.SubframesPerFrame; sf++ {
 		g := ltephy.NewGrid(cfg.Params, sf)
@@ -87,7 +107,7 @@ func New(cfg Config) *ENodeB {
 			data[i] = 1
 		}
 		g.MapData(data)
-		p += dsp.Power(ltephy.Modulate(g))
+		p += dsp.Power(e.modulate(g))
 	}
 	p /= ltephy.SubframesPerFrame
 	targetW := math.Pow(10, (cfg.TxPowerDBm-30)/10)
@@ -132,7 +152,7 @@ func (e *ENodeB) NextSubframe() *Subframe {
 	}
 	g.MapData(syms)
 
-	samples := ltephy.Modulate(g)
+	samples := e.modulate(g)
 	dsp.Scale(samples, e.gain)
 	return &Subframe{
 		Index:   idx,

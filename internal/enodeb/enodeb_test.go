@@ -219,3 +219,34 @@ func BenchmarkCodecDecode5MHzQPSK(b *testing.B) {
 		}
 	}
 }
+
+func TestCacheTransparentAndHitsOnReplay(t *testing.T) {
+	cfg := DefaultConfig(ltephy.BW1_4)
+	cfg.Seed = 42
+
+	uncached := cfg
+	uncached.NoCache = true
+	plain := New(uncached).Stream(12)
+
+	// First cached eNodeB populates the shared cache, the second replays the
+	// identical stream from it; both must be bit-identical to the uncached
+	// reference.
+	for pass := 0; pass < 2; pass++ {
+		before := ltephy.SharedCache.Stats()
+		got := New(cfg).Stream(12)
+		d := ltephy.SharedCache.Stats().Delta(before)
+		if pass == 1 && d.Hits == 0 {
+			t.Fatalf("replaying an identical stream produced no cache hits: %+v", d)
+		}
+		for i, sf := range got {
+			if len(sf.Samples) != len(plain[i].Samples) {
+				t.Fatalf("pass %d subframe %d: length %d vs %d", pass, i, len(sf.Samples), len(plain[i].Samples))
+			}
+			for j := range sf.Samples {
+				if sf.Samples[j] != plain[i].Samples[j] {
+					t.Fatalf("pass %d subframe %d: cached stream diverges at sample %d", pass, i, j)
+				}
+			}
+		}
+	}
+}

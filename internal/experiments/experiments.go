@@ -1,17 +1,29 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§2 and §4) from the simulated LScatter system: each runner
 // returns a Result holding the same rows/series the paper reports, rendered
-// as aligned text tables. cmd/lscatter-bench drives the registry;
+// as aligned text tables.
+//
+// The registry can be driven one artifact at a time (Lookup, RunOne),
+// sequentially (All), or by the concurrent worker pool (RunAll); the pool is
+// deterministic — per-artifact seeds derive from the master seed via
+// DeriveSeed, so the same seed yields byte-identical Rows at any worker
+// count. Each run carries RunMetrics (wall time, allocations, waveform-cache
+// hit rate), and BuildReport/Report.WriteJSON serialize a whole harness run
+// for performance tracking. cmd/lscatter-bench drives the registry;
 // bench_test.go wraps each runner in a testing.B benchmark.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 )
 
-// Result is one regenerated table or figure.
+// Result is one regenerated table or figure of the paper's evaluation.
+// Everything the artifact reports lives in Header/Rows/Notes as formatted
+// strings: equality of Rows is the repository's determinism criterion, and
+// Render is the only consumer.
 type Result struct {
 	// ID is the paper artifact identifier ("T1", "F4c", "F16", ...).
 	ID string
@@ -23,6 +35,11 @@ type Result struct {
 	Rows [][]string
 	// Notes carry comparisons against the paper's reported values.
 	Notes []string
+	// Metrics is the harness-side cost of producing this result. It is
+	// populated by All/RunAll/RunOne — not by the runners themselves — and
+	// never influences Rows, so two runs with the same seed compare equal
+	// row-wise even when their timings differ.
+	Metrics *RunMetrics
 }
 
 // Render formats the result as an aligned text table.
@@ -66,7 +83,11 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// Runner produces a Result for a given seed.
+// Runner produces a Result for a given seed. Runners are pure: the Result
+// depends only on the seed (every random element forks from it), no state is
+// shared across runners, and the same seed reproduces the same Rows — which
+// is what lets RunAll execute them on concurrent workers without changing
+// any output.
 type Runner func(seed uint64) *Result
 
 // registry maps artifact IDs to runners.
@@ -76,7 +97,8 @@ func register(id string, r Runner) {
 	registry[id] = r
 }
 
-// IDs returns the registered artifact identifiers in sorted order.
+// IDs returns the registered artifact identifiers in sorted order. The
+// order is the canonical result order of All and RunAll.
 func IDs() []string {
 	out := make([]string, 0, len(registry))
 	for id := range registry {
@@ -86,18 +108,20 @@ func IDs() []string {
 	return out
 }
 
-// Lookup returns the runner for an artifact ID.
+// Lookup returns the raw runner for an artifact ID. The runner receives
+// whatever seed it is called with verbatim; use RunOne to also collect
+// RunMetrics, or All/RunAll for the whole registry with derived seeds.
 func Lookup(id string) (Runner, bool) {
 	r, ok := registry[id]
 	return r, ok
 }
 
-// All runs every registered experiment with the given seed, in ID order.
+// All regenerates every registered experiment in ID order. It is the
+// sequential wrapper over RunAll: artifact id runs with DeriveSeed(seed, id)
+// on a single worker, so its results — including every formatted row — are
+// byte-identical to RunAll(ctx, seed, n) for any n.
 func All(seed uint64) []*Result {
-	var out []*Result
-	for _, id := range IDs() {
-		out = append(out, registry[id](seed))
-	}
+	out, _ := RunAll(context.Background(), seed, 1)
 	return out
 }
 

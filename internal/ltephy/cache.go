@@ -1,0 +1,233 @@
+package ltephy
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// The OFDM modulator is the hot path of every bit-true simulation: one
+// subframe costs 14 (oversampled) inverse FFTs, and the evaluation harness
+// re-generates the same ambient downlink over and over — the eNodeB gain
+// calibration modulates an identical reference frame per configuration, the
+// ablations replay the same seeded stream per variant, and the UE regenerates
+// a clean copy of every decoded subframe. WaveformCache memoizes Modulate
+// keyed by the grid content so all of those become lookups.
+
+// WaveformKey identifies one modulated subframe waveform. Two grids share a
+// key exactly when they have the same numerology and the same resource
+// elements, so a cached waveform is bit-identical to what Modulate would
+// produce (FNV-1a collisions over the 64-bit content hash are the only
+// theoretical exception and are negligible at cache scale).
+type WaveformKey struct {
+	// Params is the full numerology; it is comparable and part of the key,
+	// so changing the oversampling or PSS boost never aliases entries.
+	Params Params
+	// Subframe is the subframe index within the radio frame.
+	Subframe int
+	// Content is the FNV-1a hash of every resource-element value.
+	Content uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a style chain. The word is first
+// diffused with the murmur3 finalizer: a plain xor-multiply chain never
+// propagates high input bits downward, so words differing only in the float
+// sign bit (every ±x constellation pair) would collide catastrophically —
+// the right shifts are what make sign flips reach the low bits.
+func fnvMix(h, v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	h ^= v
+	h *= fnvPrime64
+	return h
+}
+
+// KeyForGrid computes the cache key of a grid by hashing its RE values.
+// Hashing is linear in the grid size and orders of magnitude cheaper than
+// the 14 inverse FFTs it stands in for.
+func KeyForGrid(g *Grid) WaveformKey {
+	h := uint64(fnvOffset64)
+	for _, row := range g.RE {
+		for _, v := range row {
+			h = fnvMix(h, math.Float64bits(real(v)))
+			h = fnvMix(h, math.Float64bits(imag(v)))
+		}
+	}
+	return WaveformKey{Params: g.Params, Subframe: g.Subframe, Content: h}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness counters.
+type CacheStats struct {
+	// Hits and Misses count Modulate calls served from / added to the cache.
+	Hits, Misses uint64
+	// Evictions counts entries dropped to respect the byte bound.
+	Evictions uint64
+	// Entries is the current number of cached waveforms.
+	Entries int
+	// Bytes is the current payload size of the cache (16 bytes per sample).
+	Bytes int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any traffic.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Delta returns the counter difference s - prev (entries/bytes are taken
+// from s). It is how callers attribute cache traffic to a region of work.
+func (s CacheStats) Delta(prev CacheStats) CacheStats {
+	return CacheStats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Evictions: s.Evictions - prev.Evictions,
+		Entries:   s.Entries,
+		Bytes:     s.Bytes,
+	}
+}
+
+// WaveformCache is a bounded, concurrency-safe memo of Modulate outputs.
+// Lookups take a read lock; inserts take the write lock and evict in FIFO
+// order until the configured byte bound holds. All methods are safe to call
+// from concurrent experiment runners; a nil *WaveformCache is valid and
+// degrades to plain Modulate.
+type WaveformCache struct {
+	mu       sync.RWMutex
+	maxBytes int64
+	bytes    int64
+	entries  map[WaveformKey][]complex128
+	order    []WaveformKey // insertion order, for FIFO eviction
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// DefaultCacheBytes bounds the shared cache: at 16 bytes per complex sample
+// this holds ~2000 subframes at 1.4 MHz or ~130 at 20 MHz with 4x
+// oversampling.
+const DefaultCacheBytes = 256 << 20
+
+// SharedCache is the process-wide waveform cache used by the eNodeB and the
+// UE reference regenerator. Tests and benchmarks may Reset it or swap it for
+// a differently sized one; setting it to nil disables caching globally.
+var SharedCache = NewWaveformCache(DefaultCacheBytes)
+
+// NewWaveformCache builds a cache bounded to approximately maxBytes of
+// sample payload. maxBytes <= 0 yields a cache that stores nothing (every
+// call is a miss), which is occasionally useful for A/B measurements.
+func NewWaveformCache(maxBytes int64) *WaveformCache {
+	return &WaveformCache{
+		maxBytes: maxBytes,
+		entries:  map[WaveformKey][]complex128{},
+	}
+}
+
+// Get returns the cached waveform for the key. The returned slice is shared:
+// callers must treat it as read-only (Modulate clones for them).
+func (c *WaveformCache) Get(k WaveformKey) ([]complex128, bool) {
+	c.mu.RLock()
+	s, ok := c.entries[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return s, ok
+}
+
+// Put stores a waveform under the key, taking ownership of the slice. It
+// evicts oldest-first until the byte bound holds; a single waveform larger
+// than the whole bound is not stored.
+func (c *WaveformCache) Put(k WaveformKey, samples []complex128) {
+	size := int64(len(samples)) * 16
+	if size > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; ok {
+		return // raced with another producer of the identical waveform
+	}
+	for c.bytes+size > c.maxBytes && len(c.order) > 0 {
+		old := c.order[0]
+		c.order = c.order[1:]
+		c.bytes -= int64(len(c.entries[old])) * 16
+		delete(c.entries, old)
+		c.evictions.Add(1)
+	}
+	c.entries[k] = samples
+	c.order = append(c.order, k)
+	c.bytes += size
+}
+
+// Modulate is the cached equivalent of the package-level Modulate: on a hit
+// it returns a private copy of the memoized waveform, on a miss it runs the
+// OFDM modulator and memoizes the result. The returned slice is always owned
+// by the caller. A nil cache falls through to Modulate directly.
+func (c *WaveformCache) Modulate(g *Grid) []complex128 {
+	if c == nil {
+		return Modulate(g)
+	}
+	k := KeyForGrid(g)
+	if s, ok := c.Get(k); ok {
+		out := make([]complex128, len(s))
+		copy(out, s)
+		return out
+	}
+	out := Modulate(g)
+	stored := make([]complex128, len(out))
+	copy(stored, out)
+	c.Put(k, stored)
+	return out
+}
+
+// Stats snapshots the cache counters.
+func (c *WaveformCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.RLock()
+	entries, bytes := len(c.entries), c.bytes
+	c.mu.RUnlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *WaveformCache) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.entries = map[WaveformKey][]complex128{}
+	c.order = nil
+	c.bytes = 0
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}
+
+// SharedStats reports the shared cache's counters (zeroes when caching is
+// globally disabled). It exists so packages that should not reach into the
+// SharedCache variable directly — the experiment metrics, mostly — have a
+// stable read-only view.
+func SharedStats() CacheStats { return SharedCache.Stats() }

@@ -1,0 +1,189 @@
+package ltephy
+
+import (
+	"sync"
+	"testing"
+)
+
+// testGrid builds a deterministic populated grid whose data region is seeded
+// by variant, so distinct variants produce distinct cache keys.
+func testGrid(t testing.TB, bw Bandwidth, subframe int, variant int) *Grid {
+	t.Helper()
+	g := NewGrid(DefaultParams(bw), subframe)
+	g.MapSyncAndRef()
+	ctrl := make([]complex128, 2*g.K())
+	for i := range ctrl {
+		ctrl[i] = complex(1, 0)
+	}
+	g.MapControl(ctrl)
+	data := make([]complex128, g.DataCapacity())
+	for i := range data {
+		data[i] = complex(float64(variant+1), float64(i%7))
+	}
+	g.MapData(data)
+	return g
+}
+
+func TestCacheModulateBitIdentical(t *testing.T) {
+	c := NewWaveformCache(DefaultCacheBytes)
+	g := testGrid(t, BW1_4, 3, 0)
+	want := Modulate(g)
+	miss := c.Modulate(g) // cold: runs the modulator, stores
+	hit := c.Modulate(g)  // warm: served from the cache
+	if len(miss) != len(want) || len(hit) != len(want) {
+		t.Fatalf("lengths differ: %d / %d / %d", len(want), len(miss), len(hit))
+	}
+	for i := range want {
+		if miss[i] != want[i] {
+			t.Fatalf("miss path diverges at sample %d: %v vs %v", i, miss[i], want[i])
+		}
+		if hit[i] != want[i] {
+			t.Fatalf("hit path diverges at sample %d: %v vs %v", i, hit[i], want[i])
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", s.HitRate())
+	}
+}
+
+func TestCacheHitRatePositiveOnRepeatedSubframes(t *testing.T) {
+	c := NewWaveformCache(DefaultCacheBytes)
+	// The same three subframes replayed ten times: exactly 3 misses.
+	for rep := 0; rep < 10; rep++ {
+		for sf := 0; sf < 3; sf++ {
+			c.Modulate(testGrid(t, BW1_4, sf, 0))
+		}
+	}
+	s := c.Stats()
+	if s.HitRate() <= 0 {
+		t.Fatal("hit rate not positive on repeated subframes")
+	}
+	if s.Misses != 3 || s.Hits != 27 {
+		t.Fatalf("stats = %+v, want 27 hits / 3 misses", s)
+	}
+}
+
+func TestCacheReturnsPrivateCopies(t *testing.T) {
+	c := NewWaveformCache(DefaultCacheBytes)
+	g := testGrid(t, BW1_4, 1, 0)
+	a := c.Modulate(g)
+	a[0] = complex(1e9, 1e9) // caller scales/mutates its copy
+	b := c.Modulate(g)
+	if b[0] == a[0] {
+		t.Fatal("cache returned a shared slice; caller mutation leaked")
+	}
+}
+
+func TestCacheEvictionBoundsMemory(t *testing.T) {
+	g := testGrid(t, BW1_4, 1, 0)
+	subframeBytes := int64(len(Modulate(g))) * 16
+	c := NewWaveformCache(3 * subframeBytes)
+	for v := 0; v < 20; v++ {
+		c.Modulate(testGrid(t, BW1_4, 1, v))
+	}
+	s := c.Stats()
+	if s.Bytes > 3*subframeBytes {
+		t.Fatalf("cache holds %d bytes, bound is %d", s.Bytes, 3*subframeBytes)
+	}
+	if s.Entries > 3 {
+		t.Fatalf("cache holds %d entries, bound admits 3", s.Entries)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("no evictions recorded despite overflow")
+	}
+	// The most recently inserted waveform must still be resident.
+	if _, ok := c.Get(KeyForGrid(testGrid(t, BW1_4, 1, 19))); !ok {
+		t.Fatal("most recent entry was evicted")
+	}
+}
+
+func TestCacheOversizeEntryNotStored(t *testing.T) {
+	c := NewWaveformCache(16) // one complex128
+	g := testGrid(t, BW1_4, 1, 0)
+	c.Modulate(g)
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("oversize waveform was stored: %+v", s)
+	}
+}
+
+func TestCacheKeySeparatesParamsAndSubframe(t *testing.T) {
+	a := KeyForGrid(testGrid(t, BW1_4, 1, 0))
+	b := KeyForGrid(testGrid(t, BW1_4, 2, 0))
+	if a == b {
+		t.Fatal("different subframes share a key")
+	}
+	pa := DefaultParams(BW1_4)
+	pb := pa
+	pb.Oversample = 8
+	ga, gb := NewGrid(pa, 3), NewGrid(pb, 3)
+	if KeyForGrid(ga) == KeyForGrid(gb) {
+		t.Fatal("different oversampling shares a key")
+	}
+}
+
+func TestCacheNilIsTransparent(t *testing.T) {
+	var c *WaveformCache
+	g := testGrid(t, BW1_4, 4, 0)
+	want := Modulate(g)
+	got := c.Modulate(g)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nil cache diverges at %d", i)
+		}
+	}
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", s)
+	}
+	c.Reset() // must not panic
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewWaveformCache(DefaultCacheBytes)
+	grids := make([]*Grid, 4)
+	for v := range grids {
+		grids[v] = testGrid(t, BW1_4, v%SubframesPerFrame, v)
+	}
+	want := make([][]complex128, len(grids))
+	for v, g := range grids {
+		want[v] = Modulate(g)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				for v, g := range grids {
+					got := c.Modulate(g)
+					for i := range want[v] {
+						if got[i] != want[v][i] {
+							t.Errorf("variant %d diverges under concurrency", v)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Hits == 0 {
+		t.Fatalf("no hits under concurrent replay: %+v", s)
+	}
+}
+
+func TestCacheStatsDelta(t *testing.T) {
+	c := NewWaveformCache(DefaultCacheBytes)
+	g := testGrid(t, BW1_4, 5, 0)
+	c.Modulate(g)
+	before := c.Stats()
+	c.Modulate(g)
+	c.Modulate(g)
+	d := c.Stats().Delta(before)
+	if d.Hits != 2 || d.Misses != 0 {
+		t.Fatalf("delta = %+v, want 2 hits / 0 misses", d)
+	}
+}

@@ -227,7 +227,11 @@ func (rx *LTEReceiver) ReceiveSubframe(samples []complex128, subframe int) (*LTE
 	}
 	ref.MapData(syms)
 	res.Grid = ref
-	res.RefSamples = ltephy.Modulate(ref)
+	// The regenerated reference is identical every time the same downlink
+	// subframe is decoded, so route it through the shared waveform cache:
+	// replaying a seeded stream (ablations, sweeps, repeated runs) turns
+	// the regeneration IFFTs into lookups.
+	res.RefSamples = ltephy.SharedCache.Modulate(ref)
 	res.EVM = modem.EVM(eq, syms)
 	return res, nil
 }

@@ -1,0 +1,38 @@
+#!/bin/sh
+# docscheck.sh verifies that every Go package in the module carries a package
+# doc comment: at least one file per package must open with a "// Package <x>"
+# (libraries) or "// Command <x>" (main packages) comment line. This keeps the
+# docs tree in docs/ and the in-source documentation from drifting apart.
+#
+# Usage: sh tools/docscheck.sh   (or: make docs-check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# One line per package: "<dir>\t<file> <file> ...". The while loop runs in a
+# pipeline subshell, so undocumented packages are reported on stdout and
+# collected by the $(...) capture instead of a shared variable.
+bad=$(
+    ${GO:-go} list -f '{{.Dir}}{{"\t"}}{{range .GoFiles}}{{.}} {{end}}' ./... |
+    while IFS="$(printf '\t')" read -r dir files; do
+        found=0
+        for f in $files; do
+            if grep -Eq '^// (Package|Command) ' "$dir/$f"; then
+                found=1
+                break
+            fi
+        done
+        if [ "$found" -eq 0 ]; then
+            echo "$dir"
+        fi
+    done
+)
+
+if [ -n "$bad" ]; then
+    echo "docscheck: packages without a doc comment:" >&2
+    echo "$bad" | sed 's/^/  /' >&2
+    echo "docscheck: FAILED — add a '// Package <name> ...' (or '// Command <name> ...') comment" >&2
+    exit 1
+fi
+
+echo "docscheck: OK — every package documents itself"

@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all test race vet docs-check bench figures examples cover clean
+.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench figures examples cover clean
 
 all: vet test
+
+# The full gate a PR must pass: vet, the suite under the race detector, and
+# the doc-comment check. Run it before pushing.
+ci: vet race docs-check
 
 test:
 	$(GO) test ./...
@@ -20,6 +24,26 @@ vet:
 # Every package and command must carry a doc comment (see tools/docscheck.sh).
 docs-check:
 	sh tools/docscheck.sh
+
+# 30 seconds of native fuzzing per target on top of the committed corpora
+# (testdata/fuzz/). The receiver and the frame decoder must never panic on
+# arbitrary input; see docs/RESILIENCE.md.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test ./internal/ue -run='^$$' -fuzz=FuzzCellSearch -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/ue -run='^$$' -fuzz=FuzzEstimateCFO -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/scatterframe -run='^$$' -fuzz=FuzzDecode$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/scatterframe -run='^$$' -fuzz=FuzzDecodeSoft -fuzztime=$(FUZZTIME)
+
+# Regenerate the golden conformance vectors (testdata/*.json) after an
+# intentional waveform or RNG change; review the diff like code.
+golden-update:
+	$(GO) test -run TestGolden -update .
+
+# The link-resilience sweep: the exact chain through the fault-injection
+# ladder (see docs/RESILIENCE.md).
+resilience:
+	$(GO) run ./cmd/lscatter-bench -impair
 
 # Regenerate every paper table/figure, the ablations and the validation.
 figures:

@@ -6,12 +6,18 @@
 //	lscatter-bench -list
 //	lscatter-bench -id F23 [-seed 7]
 //	lscatter-bench -all [-parallel 8] [-metrics out.json]
+//	lscatter-bench -impair [-seed 7] [-metrics out.json]
 //
 // With -all, artifacts run on a worker pool (-parallel N; 0 selects NumCPU,
 // 1 — the default — is sequential). The output is deterministic: each
 // artifact's seed derives from -seed and its ID, so any worker count prints
 // identical tables. -metrics writes a JSON report of per-artifact wall time,
 // allocations and waveform-cache hit rate; see docs/BENCHMARKS.md.
+//
+// -impair is shorthand for the link-resilience sweep (-id R1): the exact
+// chain run through the off/mild/moderate/severe fault-injection ladder,
+// reporting BER, throughput and carrier-loop re-acquisitions per level; see
+// docs/RESILIENCE.md.
 package main
 
 import (
@@ -46,8 +52,17 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		parallel = flag.Int("parallel", 1, "worker count for -all (0 = NumCPU, 1 = sequential)")
 		metrics  = flag.String("metrics", "", "write a JSON metrics report to this file")
+		impaired = flag.Bool("impair", false, "run the link-resilience sweep (shorthand for -id R1)")
 	)
 	flag.Parse()
+
+	if *impaired {
+		if *id != "" && *id != "R1" {
+			fmt.Fprintln(os.Stderr, "-impair and -id are mutually exclusive")
+			os.Exit(2)
+		}
+		*id = "R1"
+	}
 
 	switch {
 	case *list:

@@ -5,11 +5,18 @@
 //
 //	lscatter-sim -bw 20 -enb-tag 3 -tag-ue 80 -power 10 -exponent 2.2
 //	lscatter-sim -bw 1.4 -mode exact -subframes 5
+//	lscatter-sim -bw 1.4 -mode exact -impair moderate
+//	lscatter-sim -bw 1.4 -mode exact -cfo 800 -sfo-ppm 2 -adc-bits 8
 //	lscatter-sim -sweep 10:200:10 -parallel 0
 //
 // A -sweep evaluates one link per distance step; -parallel fans the points
 // out over a worker pool (0 = NumCPU). Every point is seeded independently,
 // so the printed table is identical at any worker count.
+//
+// Fault injection (exact mode only): -impair selects a named level of the
+// resilience ladder (off, mild, moderate, severe; see docs/RESILIENCE.md),
+// and -cfo/-sfo-ppm/-adc-bits/-jitter-rms switch on individual stages on
+// top of (or instead of) the level.
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 
 	"lscatter/internal/channel"
 	"lscatter/internal/core"
+	"lscatter/internal/experiments"
+	"lscatter/internal/impair"
 	"lscatter/internal/ltephy"
 )
 
@@ -53,6 +62,44 @@ func sweepPoints(cfgs []core.LinkConfig, workers int) []core.LinkReport {
 	return reports
 }
 
+// impairmentFor assembles the fault-injection config from the -impair level
+// and the individual stage flags (which override or extend the level). It
+// returns nil when no fault injection is requested.
+func impairmentFor(level string, cfoHz, sfoPPM float64, adcBits int, jitterRMS float64) (*impair.Config, error) {
+	var ic impair.Config
+	switch level {
+	case "", "off":
+	default:
+		found := false
+		for _, lvl := range experiments.ImpairmentLevels() {
+			if lvl.Name == level {
+				ic = lvl.Impair
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown impairment level %q (use off, mild, moderate or severe)", level)
+		}
+	}
+	if cfoHz != 0 {
+		ic.CFO = impair.CFOConfig{Enabled: true, OffsetHz: cfoHz}
+	}
+	if sfoPPM != 0 {
+		ic.SFO = impair.SFOConfig{Enabled: true, PPM: sfoPPM}
+	}
+	if adcBits != 0 {
+		ic.ADC = impair.ADCConfig{Enabled: true, Bits: adcBits}
+	}
+	if jitterRMS != 0 {
+		ic.Jitter = impair.JitterConfig{Enabled: true, RMSSamples: jitterRMS}
+	}
+	if !ic.Active() {
+		return nil, nil
+	}
+	return &ic, nil
+}
+
 func bandwidthFlag(v string) (ltephy.Bandwidth, error) {
 	for _, bw := range ltephy.Bandwidths {
 		if v+"MHz" == bw.String() {
@@ -76,6 +123,11 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		sweep     = flag.String("sweep", "", "sweep tag-to-UE distance: \"start:stop:step\" in feet, prints a table")
 		parallel  = flag.Int("parallel", 1, "worker count for -sweep (0 = NumCPU, 1 = sequential)")
+		level     = flag.String("impair", "", "impairment level for exact mode: off, mild, moderate or severe")
+		cfoHz     = flag.Float64("cfo", 0, "carrier-frequency offset in Hz (exact mode; enables the CFO stage)")
+		sfoPPM    = flag.Float64("sfo-ppm", 0, "sampling clock offset in ppm (exact mode; enables the SFO stage)")
+		adcBits   = flag.Int("adc-bits", 0, "ADC resolution in bits (exact mode; enables the ADC stage)")
+		jitterRMS = flag.Float64("jitter-rms", 0, "tag timing jitter RMS in basic-timing units (exact mode)")
 	)
 	flag.Parse()
 
@@ -99,6 +151,19 @@ func main() {
 	cfg.Subframes = *subframes
 	if *mode == "exact" {
 		cfg.Mode = core.Exact
+	}
+
+	ic, err := impairmentFor(*level, *cfoHz, *sfoPPM, *adcBits, *jitterRMS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if ic != nil {
+		if cfg.Mode != core.Exact {
+			fmt.Fprintln(os.Stderr, "impairments need -mode exact (the analytic model has no waveform to corrupt)")
+			os.Exit(2)
+		}
+		cfg.Impair = ic
 	}
 
 	if *sweep != "" {

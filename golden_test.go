@@ -1,0 +1,207 @@
+package lscatter
+
+// Golden-vector conformance tests. Each vector pins an exact artifact of the
+// signal chain — a modulated LTE subframe, the impairment pipeline's output
+// for a fixed seed, the end-to-end link report — as a SHA-256 hash (or the
+// literal values) committed under testdata/. Any change to the waveform
+// math, RNG consumption order or stage sequencing fails these tests loudly.
+//
+// To regenerate after an intentional change:
+//
+//	go test -run TestGolden -update .
+//
+// then review the diff of testdata/*.json like any other code change.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"lscatter/internal/core"
+	"lscatter/internal/impair"
+	"lscatter/internal/ltephy"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden vectors under testdata/")
+
+// quantHash fingerprints a complex waveform. Samples are quantized to 1e-9
+// (far below any physical effect the chain models, far above float64
+// noise) so the hash is stable across algebraically-equivalent refactors
+// only when they are bit-for-bit faithful at nanoscale.
+func quantHash(samples []complex128) string {
+	h := sha256.New()
+	var buf [16]byte
+	for _, s := range samples {
+		re := int64(math.RoundToEven(real(s) * 1e9))
+		im := int64(math.RoundToEven(imag(s) * 1e9))
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(re))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(im))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// checkGolden compares got against the JSON vector file, or rewrites the
+// file under -update.
+func checkGolden(t *testing.T, name string, got map[string]string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d vectors)", path, len(keys))
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden vectors (run `go test -run TestGolden -update .` to create them): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	if len(got) != len(want) {
+		t.Errorf("%s: %d vectors computed, %d committed", name, len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("%s: committed vector %q no longer computed", name, k)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: vector %q drifted\n  got  %s\n  want %s\n(intentional? regenerate with -update and review the diff)", name, k, g, w)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: new vector %q not committed (run -update)", name, k)
+		}
+	}
+}
+
+// modulatedSubframe builds and OFDM-modulates one downlink subframe.
+func modulatedSubframe(bw ltephy.Bandwidth, sf int) []complex128 {
+	g := ltephy.NewGrid(ltephy.DefaultParams(bw), sf)
+	g.MapSyncAndRef()
+	return ltephy.Modulate(g)
+}
+
+// TestGoldenPHYWaveforms pins the modulated PSS/SSS/CRS subframes — the
+// excitation signal every other layer rides on — for a sync and a non-sync
+// subframe at the two bandwidth extremes.
+func TestGoldenPHYWaveforms(t *testing.T) {
+	got := map[string]string{}
+	for _, bw := range []ltephy.Bandwidth{ltephy.BW1_4, ltephy.BW20} {
+		for _, sf := range []int{0, 1} {
+			key := fmt.Sprintf("%s/subframe%d", bw, sf)
+			got[key] = quantHash(modulatedSubframe(bw, sf))
+		}
+	}
+	checkGolden(t, "golden_phy.json", got)
+}
+
+// TestGoldenImpairStages pins the impairment pipeline's output — every stage
+// alone and the full chain — over a fixed excitation waveform and seed. This
+// is the byte-reproducibility contract of internal/impair: any change to a
+// stage's math or its RNG stream consumption shows up here.
+func TestGoldenImpairStages(t *testing.T) {
+	in := modulatedSubframe(ltephy.BW1_4, 0)
+	cfg := impair.Config{
+		Seed:         0x5eed,
+		SampleRate:   ltephy.DefaultParams(ltephy.BW1_4).SampleRate(),
+		Jitter:       impair.JitterConfig{Enabled: true, RMSSamples: 1.5},
+		SFO:          impair.SFOConfig{Enabled: true, PPM: 5},
+		CFO:          impair.CFOConfig{Enabled: true, OffsetHz: 700, DriftHzPerSec: 300, PhaseNoiseRMSRad: 2e-4},
+		Interference: impair.InterferenceConfig{Enabled: true, ImpulsesPerSec: 5000, ImpulseSIRdB: 3, BurstsPerSec: 200, BurstDurationSec: 1e-3, BurstSIRdB: 0},
+		ADC:          impair.ADCConfig{Enabled: true, Bits: 10, ClipBackoffDB: 9},
+	}
+	got := map[string]string{"input": quantHash(in)}
+	for _, kind := range impair.DefaultOrder {
+		p := impair.NewFor(cfg, kind)
+		out := p.Process(append([]complex128(nil), in...))
+		got[p.Describe()] = quantHash(out)
+	}
+	full := impair.New(cfg)
+	got["full:"+full.Describe()] = quantHash(full.Process(append([]complex128(nil), in...)))
+	checkGolden(t, "golden_impair.json", got)
+}
+
+// e2eVector flattens a LinkReport into name→string vectors with full float
+// precision.
+func e2eVector(prefix string, rep core.LinkReport) map[string]string {
+	got := map[string]string{}
+	v := reflect.ValueOf(rep)
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Type().Field(i)
+		key := prefix + "/" + f.Name
+		switch x := v.Field(i).Interface().(type) {
+		case float64:
+			got[key] = fmt.Sprintf("%.17g", x)
+		default:
+			got[key] = fmt.Sprintf("%v", x)
+		}
+	}
+	return got
+}
+
+// TestGoldenEndToEnd pins the full exact-mode link report — clean and under
+// the severe impairment rung — field by field. This is the outermost
+// conformance surface: it moves if anything between the eNodeB modulator and
+// the ARQ-facing BER counter moves.
+func TestGoldenEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact chain run")
+	}
+	cfg := core.DefaultLinkConfig(ltephy.BW1_4)
+	cfg.Mode = core.Exact
+	cfg.Subframes = 4
+	cfg.Seed = 42
+	got := e2eVector("clean", core.Run(cfg))
+
+	imp := cfg
+	imp.Impair = &impair.Config{
+		Seed: 42,
+		CFO:  impair.CFOConfig{Enabled: true, OffsetHz: 900, DriftHzPerSec: 200},
+		ADC:  impair.ADCConfig{Enabled: true, Bits: 10},
+	}
+	for k, v := range e2eVector("impaired", core.Run(imp)) {
+		got[k] = v
+	}
+	checkGolden(t, "golden_e2e.json", got)
+}
+
+// TestGoldenHashDetectsPerturbation proves the fingerprint is sharp: a
+// one-sample change at the quantization floor flips the hash.
+func TestGoldenHashDetectsPerturbation(t *testing.T) {
+	in := modulatedSubframe(ltephy.BW1_4, 0)
+	ref := quantHash(in)
+	mid := len(in) / 2
+	in[mid] += complex(2e-9, 0)
+	if got := quantHash(in); got == ref {
+		t.Fatal("hash unchanged after a one-sample 2e-9 perturbation")
+	}
+	in[mid] -= complex(2e-9, 0)
+	if got := quantHash(in); got != ref {
+		t.Fatal("hash not restored after undoing the perturbation")
+	}
+}

@@ -1,0 +1,92 @@
+package arq
+
+import (
+	"math"
+	"testing"
+
+	"lscatter/internal/rng"
+)
+
+func TestGilbertElliottReproducible(t *testing.T) {
+	cfg := GEConfig{PGoodToBad: 0.05, PBadToGood: 0.2, DeliverGood: 0.95, DeliverBad: 0.1}
+	a := NewGilbertElliott(rng.New(7), cfg)
+	b := NewGilbertElliott(rng.New(7), cfg)
+	for i := 0; i < 5000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same-seed channels diverged at slot %d", i)
+		}
+	}
+	if a.BadSlots != b.BadSlots {
+		t.Fatal("same-seed channels disagree on burst occupancy")
+	}
+}
+
+func TestGilbertElliottBurstOccupancy(t *testing.T) {
+	// Stationary bad-state probability of the two-state chain is
+	// pGB / (pGB + pBG); a long run must land near it.
+	cfg := GEConfig{PGoodToBad: 0.02, PBadToGood: 0.1, DeliverGood: 1, DeliverBad: 0}
+	g := NewGilbertElliott(rng.New(11), cfg)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		g.Next()
+	}
+	want := cfg.PGoodToBad / (cfg.PGoodToBad + cfg.PBadToGood)
+	got := float64(g.BadSlots) / float64(g.Slots)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("burst occupancy %v, want ~%v", got, want)
+	}
+}
+
+func TestARQDeliversUnderBurstLoss(t *testing.T) {
+	// Bursts long enough to blank a whole send window: selective repeat must
+	// still deliver everything, in order, once the channel clears.
+	r := rng.New(21)
+	want := payloads(r, 150, 16)
+	s := NewSender(16, 6)
+	rx := NewReceiver(16)
+	for _, p := range want {
+		s.Queue(p)
+	}
+	data := NewGilbertElliott(rng.New(22), GEConfig{
+		PGoodToBad: 0.01, PBadToGood: 0.04, DeliverGood: 0.98, DeliverBad: 0.05,
+	})
+	ack := NewGilbertElliott(rng.New(23), GEConfig{
+		PGoodToBad: 0.005, PBadToGood: 0.1, DeliverGood: 0.99, DeliverBad: 0.2,
+	})
+	st, got := Run(s, rx, data.Next, ack.Next, len(want), 200000)
+	if st.Delivered != len(want) {
+		t.Fatalf("delivered %d of %d in %d slots", st.Delivered, len(want), st.Slots)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("payload %d corrupted or out of order", i)
+			}
+		}
+	}
+	if data.BadSlots == 0 {
+		t.Fatal("run never entered a burst; test exercises nothing")
+	}
+	if st.Efficiency >= 1 {
+		t.Fatalf("efficiency %v under burst loss implausible", st.Efficiency)
+	}
+}
+
+func TestGilbertElliottValidation(t *testing.T) {
+	bad := []GEConfig{
+		{PGoodToBad: -0.1, PBadToGood: 0.5, DeliverGood: 1, DeliverBad: 0},
+		{PGoodToBad: 0.1, PBadToGood: 1.5, DeliverGood: 1, DeliverBad: 0},
+		{PGoodToBad: 0.1, PBadToGood: 0.5, DeliverGood: math.NaN(), DeliverBad: 0},
+		{PGoodToBad: 0.1, PBadToGood: 0.5, DeliverGood: 1, DeliverBad: 2},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d accepted", i)
+				}
+			}()
+			NewGilbertElliott(rng.New(1), cfg)
+		}()
+	}
+}

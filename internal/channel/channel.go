@@ -26,11 +26,28 @@ const (
 // FeetToMeters converts the paper's foot-denominated distances.
 func FeetToMeters(ft float64) float64 { return ft * 0.3048 }
 
-// DBmToWatts converts dBm to watts.
-func DBmToWatts(dbm float64) float64 { return math.Pow(10, (dbm-30)/10) }
+// DBmToWatts converts dBm to watts. It panics on NaN: a NaN power level is
+// always an upstream bug (an uninitialized field, a 0/0 in a link budget),
+// and letting it through silently corrupts every downstream SNR and BER.
+// -Inf maps to 0 W and +Inf to +Inf W, the mathematically consistent limits.
+func DBmToWatts(dbm float64) float64 {
+	if math.IsNaN(dbm) {
+		panic("channel: DBmToWatts(NaN)")
+	}
+	return math.Pow(10, (dbm-30)/10)
+}
 
-// WattsToDBm converts watts to dBm.
+// WattsToDBm converts watts to dBm. Non-positive power maps to -Inf dBm
+// (no power, or numerical underflow of a deep fade). It panics on NaN and on
+// negative inputs beyond a tolerance: a power below -1e-15 W cannot come
+// from rounding and indicates a broken link-budget computation upstream.
 func WattsToDBm(w float64) float64 {
+	if math.IsNaN(w) {
+		panic("channel: WattsToDBm(NaN)")
+	}
+	if w < -1e-15 {
+		panic(fmt.Sprintf("channel: WattsToDBm of negative power %v W", w))
+	}
 	if w <= 0 {
 		return math.Inf(-1)
 	}
@@ -52,9 +69,14 @@ type PathLoss struct {
 
 // LossDB returns the positive path loss in dB at distance d meters.
 // Distances below 0.1 m are clamped to avoid near-field singularities.
+// NaN distances panic: they would otherwise propagate a NaN gain through
+// every hop product and surface only as a mysteriously dead link.
 func (pl PathLoss) LossDB(d float64) float64 {
 	if pl.FreqHz <= 0 {
 		panic("channel: PathLoss needs a positive frequency")
+	}
+	if math.IsNaN(d) {
+		panic("channel: PathLoss distance is NaN")
 	}
 	if d < 0.1 {
 		d = 0.1
@@ -69,17 +91,29 @@ func (pl PathLoss) Gain(d float64) float64 {
 }
 
 // NoiseFloorW returns the thermal noise power in watts over the given
-// bandwidth with the given receiver noise figure.
+// bandwidth with the given receiver noise figure. It panics on a
+// non-positive or non-finite bandwidth and on a NaN noise figure.
 func NoiseFloorW(bandwidthHz, noiseFigureDB float64) float64 {
+	if !(bandwidthHz > 0) || math.IsInf(bandwidthHz, 0) {
+		panic(fmt.Sprintf("channel: NoiseFloorW bandwidth %v Hz must be positive and finite", bandwidthHz))
+	}
+	if math.IsNaN(noiseFigureDB) {
+		panic("channel: NoiseFloorW noise figure is NaN")
+	}
 	dbm := BoltzmannNoiseDBmHz + 10*math.Log10(bandwidthHz) + noiseFigureDB
 	return DBmToWatts(dbm)
 }
 
 // AWGN adds complex white Gaussian noise of the given total power (watts,
-// i.e. variance per sample) to x in place and returns x.
+// i.e. variance per sample) to x in place and returns x. Zero power is the
+// noiseless fast path; negative, NaN or Inf power panics — sqrt of a
+// negative or NaN variance would silently fill the whole buffer with NaN.
 func AWGN(r *rng.Source, x []complex128, noisePowerW float64) []complex128 {
-	if noisePowerW <= 0 {
+	if noisePowerW == 0 {
 		return x
+	}
+	if noisePowerW < 0 || math.IsNaN(noisePowerW) || math.IsInf(noisePowerW, 0) {
+		panic(fmt.Sprintf("channel: AWGN noise power %v W must be finite and >= 0", noisePowerW))
 	}
 	sigma := math.Sqrt(noisePowerW / 2)
 	for i := range x {
@@ -286,8 +320,12 @@ func Combine(r *rng.Source, noisePowerW float64, paths ...[]complex128) []comple
 }
 
 // SNRdB computes the mean SNR in dB of signal power sigP (watts) against
-// noise power noiseP.
+// noise power noiseP. NaN inputs panic (see WattsToDBm); zero or negative
+// noise yields +Inf.
 func SNRdB(sigP, noiseP float64) float64 {
+	if math.IsNaN(sigP) || math.IsNaN(noiseP) {
+		panic("channel: SNRdB with NaN power")
+	}
 	if noiseP <= 0 {
 		return math.Inf(1)
 	}

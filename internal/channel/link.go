@@ -1,0 +1,51 @@
+package channel
+
+import (
+	"lscatter/internal/impair"
+	"lscatter/internal/rng"
+)
+
+// Link is the receiver-side end of a simulated radio link: it combines the
+// propagation paths arriving at the antenna, adds thermal noise, and then
+// runs the result through an optional impairment pipeline (front-end
+// non-idealities: SFO, CFO/phase noise, co-channel interference, ADC).
+//
+// With no impairment attached, Receive is exactly Combine — same RNG draws,
+// same output bytes — so wiring a Link into an existing chain changes
+// nothing until a stage is switched on.
+type Link struct {
+	// NoisePowerW is the AWGN power added per sample (watts).
+	NoisePowerW float64
+
+	noise  *rng.Source
+	impair *impair.Pipeline
+}
+
+// LinkOption configures a Link at construction.
+type LinkOption func(*Link)
+
+// WithImpairment attaches an impairment pipeline that post-processes every
+// received block. A nil or inactive pipeline is a no-op.
+func WithImpairment(p *impair.Pipeline) LinkOption {
+	return func(l *Link) { l.impair = p }
+}
+
+// NewLink builds a receiver link drawing its noise from r.
+func NewLink(r *rng.Source, noisePowerW float64, opts ...LinkOption) *Link {
+	l := &Link{NoisePowerW: noisePowerW, noise: r}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Impairment returns the attached pipeline (nil when none).
+func (l *Link) Impairment() *impair.Pipeline { return l.impair }
+
+// Receive combines the arriving paths, adds the link's receiver noise, and
+// applies the impairment pipeline. Consecutive calls form one continuous
+// stream: impairment stages keep state across blocks.
+func (l *Link) Receive(paths ...[]complex128) []complex128 {
+	rx := Combine(l.noise, l.NoisePowerW, paths...)
+	return l.impair.Process(rx)
+}

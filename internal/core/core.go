@@ -19,6 +19,7 @@ import (
 
 	"lscatter/internal/channel"
 	"lscatter/internal/enodeb"
+	"lscatter/internal/impair"
 	"lscatter/internal/ltephy"
 	"lscatter/internal/modem"
 	"lscatter/internal/rng"
@@ -69,6 +70,13 @@ type LinkConfig struct {
 	Subframes int
 	// Seed drives every random element.
 	Seed uint64
+	// Impair optionally injects front-end and channel faults into the exact
+	// chain (see package impair). nil — or a config with every stage
+	// disabled — leaves the chain byte-identical to the clean path: the
+	// impairment machinery draws from its own derived RNG streams and is
+	// simply absent when off. Impair.SampleRate is filled in from the
+	// bandwidth automatically; Impair.Seed defaults to Seed when zero.
+	Impair *impair.Config
 }
 
 // DefaultLinkConfig returns the smart-home baseline scenario: 3 ft spacings,
@@ -118,6 +126,10 @@ type LinkReport struct {
 	DirectSNRdB float64
 	// BitsCompared is the number of bits measured (exact mode only).
 	BitsCompared int
+	// Reacquisitions counts how often the UE's carrier-recovery loop lost
+	// lock and fell back to re-acquisition (exact mode with impairments;
+	// always 0 on the clean path, where the loop is not engaged).
+	Reacquisitions int
 }
 
 // RawBackscatterRate returns the modulated bit rate for a bandwidth: 1200
@@ -316,6 +328,33 @@ func runExact(cfg LinkConfig) LinkReport {
 	}
 
 	noiseRng := r.Fork(7)
+
+	// Fault injection: tag-side timing jitter rides on the modulator (the
+	// wander is a property of the tag's clock, in basic-timing units), the
+	// remaining stages wrap the receiver input via the Link, and an engaged
+	// carrier-recovery loop absorbs CFO/drift with re-acquisition fallback.
+	// All of it is absent — not merely inert — when Impair is nil/off, so
+	// the clean path stays byte-identical.
+	var (
+		tagJitter  *impair.TimingJitter
+		rxPipe     *impair.Pipeline
+		tracker    *ue.CFOTracker
+		baseTiming = mod.TimingError()
+	)
+	if cfg.Impair != nil && cfg.Impair.Active() {
+		ic := *cfg.Impair
+		if ic.Seed == 0 {
+			ic.Seed = cfg.Seed
+		}
+		if ic.SampleRate == 0 {
+			ic.SampleRate = sr
+		}
+		tagJitter = impair.NewTimingJitter(ic)
+		rxPipe = impair.NewFor(ic, impair.SFO, impair.CFO, impair.Interference, impair.ADC)
+		tracker = ue.NewCFOTracker(p, 0, ue.CFOTrackerConfig{})
+	}
+	link := channel.NewLink(noiseRng, noisePerSample, channel.WithImpairment(rxPipe))
+
 	errs, total := 0, 0
 	lteOK := 0
 	startSample := 0
@@ -323,9 +362,26 @@ func runExact(cfg LinkConfig) LinkReport {
 		sf := enb.NextSubframe()
 		burst := sf.Index == 0 || sf.Index == 5
 		mod.QueueBits(payload.Bits(make([]byte, 12*mod.PerSymbolBits())))
+		if tagJitter != nil && burst {
+			// The tag re-synchronizes on each burst-opening PSS, so its
+			// residual timing error re-draws per burst and holds across the
+			// burst's subframes — which is also what the UE's per-burst
+			// offset acquisition can absorb.
+			mod.SetTimingError(baseTiming + tagJitter.Next())
+		}
 		reflected, recs := mod.ModulateSubframe(sf.Samples, sf.Index, burst)
 		tagIn := hop1.Apply(reflected)
-		rx := channel.Combine(noiseRng, noisePerSample, directHop.Apply(sf.Samples), hop2.Apply(tagIn))
+		rx := link.Receive(directHop.Apply(sf.Samples), hop2.Apply(tagIn))
+		if tracker != nil {
+			var reacq bool
+			rx, reacq = tracker.Process(rx, startSample)
+			if reacq {
+				// Lost lock: decision-feedback state (burst sync, channel
+				// estimate) predates the frequency snap — drop it and let
+				// the next burst re-acquire.
+				sc.Reset()
+			}
+		}
 
 		lte, err := lteRx.ReceiveSubframe(rx, sf.Index)
 		if err != nil {
@@ -372,6 +428,9 @@ func runExact(cfg LinkConfig) LinkReport {
 	}
 	rep.LTEOK = lteOK > cfg.Subframes/2
 	rep.BitsCompared = total
+	if tracker != nil {
+		rep.Reacquisitions = tracker.Reacquisitions()
+	}
 	if total == 0 {
 		rep.BER = 0.5
 		return rep

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"lscatter/internal/impair"
+	"lscatter/internal/ltephy"
+)
+
+// exactImpairCfg is the shared base scenario for the fault-injection tests.
+func exactImpairCfg() LinkConfig {
+	cfg := DefaultLinkConfig(ltephy.BW1_4)
+	cfg.Mode = Exact
+	cfg.Subframes = 3
+	return cfg
+}
+
+func TestExactCleanPathUnchangedByImpairWiring(t *testing.T) {
+	// The acceptance bar for the whole fault-injection layer: with Impair
+	// nil OR set-but-all-disabled, the exact chain must produce the very
+	// same report as before the layer existed (same RNG draws, same bits).
+	base := exactImpairCfg()
+	clean := Run(base)
+
+	withNil := base
+	withNil.Impair = nil
+	if got := Run(withNil); got != clean {
+		t.Fatalf("nil Impair changed the report:\n%+v\n%+v", got, clean)
+	}
+
+	disabled := base
+	disabled.Impair = &impair.Config{Seed: 99} // all stages off
+	if got := Run(disabled); got != clean {
+		t.Fatalf("disabled Impair changed the report:\n%+v\n%+v", got, clean)
+	}
+}
+
+func TestExactWithImpairmentsDeterministic(t *testing.T) {
+	cfg := exactImpairCfg()
+	cfg.Impair = &impair.Config{
+		CFO:    impair.CFOConfig{Enabled: true, OffsetHz: 300, PhaseNoiseRMSRad: 1e-4},
+		SFO:    impair.SFOConfig{Enabled: true, PPM: 2},
+		Jitter: impair.JitterConfig{Enabled: true, RMSSamples: 1},
+	}
+	a, b := Run(cfg), Run(cfg)
+	if a != b {
+		t.Fatalf("impaired exact run not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestExactSurvivesMildImpairments(t *testing.T) {
+	// Mild, realistic front-end faults: the tracking receiver must keep the
+	// link alive (synced, LTE decoding, low BER) rather than hard-fail.
+	cfg := exactImpairCfg()
+	cfg.Impair = &impair.Config{
+		CFO: impair.CFOConfig{Enabled: true, OffsetHz: 200, DriftHzPerSec: 100},
+		ADC: impair.ADCConfig{Enabled: true, Bits: 10},
+	}
+	rep := Run(cfg)
+	if !rep.LTEOK || !rep.Synced {
+		t.Fatalf("link fell over under mild impairments: %+v", rep)
+	}
+	if rep.BER > 0.05 {
+		t.Fatalf("BER %v under mild impairments", rep.BER)
+	}
+	if rep.Reacquisitions != 0 {
+		t.Fatalf("%d re-acquisitions under mild impairments, want 0", rep.Reacquisitions)
+	}
+}
+
+func TestExactImpairmentDegradesLink(t *testing.T) {
+	// Severe interference must show up in the metrics — worse BER or lost
+	// sync relative to the clean run — or the injection isn't reaching the
+	// receiver at all.
+	clean := Run(exactImpairCfg())
+	cfg := exactImpairCfg()
+	cfg.Impair = &impair.Config{
+		Interference: impair.InterferenceConfig{
+			Enabled:          true,
+			BurstsPerSec:     400,
+			BurstDurationSec: 1e-3,
+			BurstSIRdB:       -10,
+		},
+	}
+	hit := Run(cfg)
+	// Degradation shows up as lost sync, failed LTE decodes (fewer bits
+	// compared, since bursted subframes are dropped), or a worse BER on the
+	// surviving bits.
+	degraded := !hit.Synced || !hit.LTEOK ||
+		hit.BitsCompared < clean.BitsCompared || hit.BER > clean.BER
+	if !degraded {
+		t.Fatalf("severe interference left the link untouched:\nclean %+v\nimpaired %+v",
+			clean, hit)
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"lscatter/internal/core"
+	"lscatter/internal/ltephy"
+)
+
+// TestResilienceOffRowMatchesCleanChain pins the regression anchor: the "off"
+// rung runs the exact chain with no impairment config at all, so its BER and
+// throughput columns must equal a direct core.Run of the same scenario.
+func TestResilienceOffRowMatchesCleanChain(t *testing.T) {
+	res := ResilienceSweep(1)
+	cfg := core.DefaultLinkConfig(ltephy.BW1_4)
+	cfg.Mode = core.Exact
+	cfg.Subframes = 6
+	cfg.Seed = 1
+	clean := core.Run(cfg)
+
+	off := res.Rows[0]
+	if off[0] != "off" || off[1] != "clean" {
+		t.Fatalf("first row = %v, want the clean 'off' rung", off)
+	}
+	if got, want := off[2], fber(clean.BER); got != want {
+		t.Errorf("off BER column = %s, clean chain = %s", got, want)
+	}
+	if got, want := off[3], fbps(clean.ThroughputBps); got != want {
+		t.Errorf("off throughput column = %s, clean chain = %s", got, want)
+	}
+	if off[5] != "0" {
+		t.Errorf("off reacq column = %s, want 0", off[5])
+	}
+}
+
+// TestResilienceLadderDegrades checks the sweep's shape: every rung is
+// present in order, and the severe rung is strictly the worst of the ladder
+// in both PHY BER and ARQ efficiency.
+func TestResilienceLadderDegrades(t *testing.T) {
+	res := ResilienceSweep(1)
+	levels := ImpairmentLevels()
+	if len(res.Rows) != len(levels) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(levels))
+	}
+	ber := make([]float64, len(res.Rows))
+	eff := make([]float64, len(res.Rows))
+	for i, row := range res.Rows {
+		if row[0] != levels[i].Name {
+			t.Fatalf("row %d level = %s, want %s", i, row[0], levels[i].Name)
+		}
+		b, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("row %d BER %q: %v", i, row[2], err)
+		}
+		e, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			t.Fatalf("row %d ARQ eff %q: %v", i, row[6], err)
+		}
+		ber[i], eff[i] = b, e
+	}
+	last := len(res.Rows) - 1
+	for i := 0; i < last; i++ {
+		if ber[last] <= ber[i] {
+			t.Errorf("severe BER %g not worse than %s BER %g", ber[last], res.Rows[i][0], ber[i])
+		}
+		if eff[last] >= eff[i] {
+			t.Errorf("severe ARQ eff %g not worse than %s eff %g", eff[last], res.Rows[i][0], eff[i])
+		}
+	}
+	if eff[0] != 1 {
+		t.Errorf("off ARQ efficiency = %g, want 1 (lossless channel)", eff[0])
+	}
+}
+
+// TestResilienceSweepReproducible locks the whole artifact: same seed, same
+// rendered table, byte for byte.
+func TestResilienceSweepReproducible(t *testing.T) {
+	a := ResilienceSweep(7).Render()
+	b := ResilienceSweep(7).Render()
+	if a != b {
+		t.Fatalf("sweep not reproducible:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -106,6 +106,17 @@ func NewModulator(cfg ModConfig) *Modulator {
 // PerSymbolBits returns the data bits carried per modulated OFDM symbol.
 func (m *Modulator) PerSymbolBits() int { return m.perSymBits }
 
+// TimingError returns the current residual timing error in basic-timing
+// units.
+func (m *Modulator) TimingError() int { return m.cfg.TimingErrorUnits }
+
+// SetTimingError updates the residual symbol-timing error applied to
+// subsequent subframes. The fault-injection chain calls this once per
+// subframe to model the wander of the sync circuit's timing estimate
+// (impair.JitterConfig); a fixed ModConfig.TimingErrorUnits models only the
+// static calibration residual.
+func (m *Modulator) SetTimingError(units int) { m.cfg.TimingErrorUnits = units }
+
 // QueueBits appends payload bits to the transmit queue.
 func (m *Modulator) QueueBits(b []byte) { m.pending = append(m.pending, b...) }
 

@@ -7,10 +7,12 @@
 package tag
 
 import (
+	"math"
 	"math/cmplx"
 
 	"lscatter/internal/dsp"
 	"lscatter/internal/ltephy"
+	"lscatter/internal/rng"
 )
 
 // SyncConfig parameterizes the synchronization circuit. Zero values select
@@ -32,6 +34,14 @@ type SyncConfig struct {
 	// ComparatorDelay is the comparator propagation delay in seconds
 	// (default 12 us, MAX931 class).
 	ComparatorDelay float64
+	// TimingJitterRMS adds a zero-mean Gaussian error of this many seconds
+	// RMS to each detection instant, modeling comparator trip-point noise on
+	// the envelope ramp (the residual spread Figure 31 measures). 0 disables
+	// jitter; draws come from a dedicated stream seeded by JitterSeed, so the
+	// rest of the simulation is unaffected.
+	TimingJitterRMS float64
+	// JitterSeed seeds the jitter stream (only used when TimingJitterRMS > 0).
+	JitterSeed uint64
 	// Trace records per-stage outputs for the Figure 8 reproduction.
 	Trace bool
 }
@@ -91,6 +101,7 @@ type SyncCircuit struct {
 	seen      int        // decimated samples processed
 	holdoff   int        // decimated samples to suppress re-triggering
 	lastDet   int        // seen-counter at the last detection
+	jitter    *rng.Source // detection-instant jitter (nil when disabled)
 	trace     *SyncTrace
 }
 
@@ -142,6 +153,12 @@ func NewSyncCircuit(p ltephy.Params, cfg SyncConfig) *SyncCircuit {
 	// PSS peak cannot double-count.
 	s.holdoff = int(2e-3 * rate)
 	s.lastDet = -s.holdoff
+	if cfg.TimingJitterRMS < 0 {
+		panic("tag: sync timing-jitter RMS must be >= 0")
+	}
+	if cfg.TimingJitterRMS > 0 {
+		s.jitter = rng.New(cfg.JitterSeed)
+	}
 	if cfg.Trace {
 		s.trace = &SyncTrace{SampleRate: rate}
 	}
@@ -194,6 +211,15 @@ func (s *SyncCircuit) Process(x []complex128) []Detection {
 		if out && !s.state && s.seen > s.warmup && s.seen-s.lastDet >= s.holdoff {
 			s.lastDet = s.seen
 			idx := s.samplesIn - 1
+			if s.jitter != nil {
+				// Comparator trip-point noise: perturb the reported instant
+				// without disturbing the circuit's internal state.
+				idx += int(math.Round(s.jitter.NormFloat64() *
+					s.cfg.TimingJitterRMS * s.params.SampleRate()))
+				if idx < 0 {
+					idx = 0
+				}
+			}
 			dets = append(dets, Detection{
 				SampleIndex: idx,
 				Time:        float64(idx) / s.params.SampleRate(),

@@ -97,6 +97,99 @@ func TestCorrectCFOPhaseContinuity(t *testing.T) {
 	}
 }
 
+// trackerFeed mixes subframes from a fresh eNodeB with a per-subframe
+// frequency offset given by f(i) and runs them through the tracker,
+// returning the tracker and the last applied offset.
+func trackerFeed(t *testing.T, tr *CFOTracker, n int, f func(i int) float64) float64 {
+	t.Helper()
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	enb := enodeb.New(cfg)
+	p := cfg.Params
+	start := 0
+	last := 0.0
+	for i := 0; i < n; i++ {
+		sf := enb.NextSubframe()
+		buf := append([]complex128(nil), sf.Samples...)
+		last = f(i)
+		dsp.Mix(buf, last, p.SampleRate(), 0)
+		tr.Process(buf, start)
+		start += len(buf)
+	}
+	return last
+}
+
+func TestCFOTrackerTracksDrift(t *testing.T) {
+	// 100 Hz of additional offset per subframe (an aggressive thermal ramp).
+	// A first-order loop with gain 0.25 lags by step/gain ≈ 400 Hz — inside
+	// the outlier threshold, so the loop must follow without re-acquiring.
+	p := ltephy.DefaultParams(ltephy.BW1_4)
+	tr := NewCFOTracker(p, 0, CFOTrackerConfig{})
+	last := trackerFeed(t, tr, 40, func(i int) float64 { return 600 + 100*float64(i) })
+	if got := tr.Reacquisitions(); got != 0 {
+		t.Fatalf("drift tracking re-acquired %d times, want 0", got)
+	}
+	if err := math.Abs(tr.EstimateHz() - last); err > 600 {
+		t.Fatalf("tracker lags true CFO %v Hz by %v Hz", last, err)
+	}
+}
+
+func TestCFOTrackerReacquiresAfterJump(t *testing.T) {
+	// A 5 kHz step is far beyond what the loop can slew through: it must
+	// fall back to re-acquisition (graceful degradation) and then re-lock.
+	p := ltephy.DefaultParams(ltephy.BW1_4)
+	tr := NewCFOTracker(p, 0, CFOTrackerConfig{})
+	last := trackerFeed(t, tr, 20, func(i int) float64 {
+		if i < 8 {
+			return 500
+		}
+		return 5500
+	})
+	if got := tr.Reacquisitions(); got < 1 {
+		t.Fatal("tracker never re-acquired after a 5 kHz jump")
+	}
+	if err := math.Abs(tr.EstimateHz() - last); err > 100 {
+		t.Fatalf("tracker did not re-lock: estimate %v, want ~%v", tr.EstimateHz(), last)
+	}
+}
+
+func TestCFOTrackerHoldsThroughSingleOutlier(t *testing.T) {
+	// One corrupt subframe (an interference burst pushing the apparent offset
+	// far off) must not reset a healthy loop: the estimate is held and no
+	// re-acquisition fires.
+	p := ltephy.DefaultParams(ltephy.BW1_4)
+	tr := NewCFOTracker(p, 0, CFOTrackerConfig{})
+	trackerFeed(t, tr, 12, func(i int) float64 {
+		if i == 6 {
+			return 5000
+		}
+		return 400
+	})
+	if got := tr.Reacquisitions(); got != 0 {
+		t.Fatalf("single outlier triggered %d re-acquisitions, want 0", got)
+	}
+	if err := math.Abs(tr.EstimateHz() - 400); err > 60 {
+		t.Fatalf("estimate drifted to %v after outlier, want ~400", tr.EstimateHz())
+	}
+}
+
+func TestCFOTrackerReset(t *testing.T) {
+	p := ltephy.DefaultParams(ltephy.BW1_4)
+	tr := NewCFOTracker(p, 0, CFOTrackerConfig{})
+	trackerFeed(t, tr, 20, func(i int) float64 {
+		if i < 5 {
+			return 300
+		}
+		return 6300
+	})
+	if tr.Reacquisitions() == 0 || tr.EstimateHz() == 0 {
+		t.Fatal("setup did not exercise the tracker")
+	}
+	tr.Reset(0)
+	if tr.EstimateHz() != 0 || tr.Reacquisitions() != 0 {
+		t.Fatal("Reset did not clear tracker state")
+	}
+}
+
 func TestEndToEndWithCFO(t *testing.T) {
 	// Full chain with a 1.5 kHz UE oscillator offset: the receiver first
 	// estimates and removes the CFO, then everything — LTE decode, preamble

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench figures examples cover clean
+.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench bench-compare figures examples cover clean
 
 all: vet test
 
@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test ./internal/ue -run='^$$' -fuzz=FuzzEstimateCFO -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/scatterframe -run='^$$' -fuzz=FuzzDecode$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/scatterframe -run='^$$' -fuzz=FuzzDecodeSoft -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/dsp -run='^$$' -fuzz=FuzzCorrelatorEquivalence -fuzztime=$(FUZZTIME)
 
 # Regenerate the golden conformance vectors (testdata/*.json) after an
 # intentional waveform or RNG change; review the diff like code.
@@ -52,6 +53,14 @@ figures:
 # One benchmark per paper artifact plus the signal-path micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Diff two `lscatter-bench -metrics` reports (override OLD/NEW to compare
+# other runs); fails on an allocation regression beyond the threshold in
+# tools/benchdiff.
+OLD ?= BENCH_R1.json
+NEW ?= BENCH_R2.json
+bench-compare:
+	sh tools/benchdiff.sh $(OLD) $(NEW)
 
 examples:
 	$(GO) run ./examples/quickstart

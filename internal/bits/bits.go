@@ -7,7 +7,10 @@
 // helpers convert to dense bytes at the application boundary.
 package bits
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Pack converts a 0/1-per-byte bit slice into dense bytes, MSB first. The
 // final byte is zero-padded on the right.
@@ -150,23 +153,24 @@ func PRBS(seed uint16, n int) []byte {
 
 // GoldSequence generates n bits of the LTE pseudo-random sequence c(n)
 // defined in 3GPP TS 36.211 §7.2: two length-31 m-sequences combined after
-// the standard Nc=1600 warm-up, with x2 initialized from cinit.
+// the standard Nc=1600 warm-up, with x2 initialized from cinit. The
+// m-sequences run in 31-bit register windows (bit i of the register holds
+// x(pos+i)), so the only allocation is the output slice.
 func GoldSequence(cinit uint32, n int) []byte {
 	const nc = 1600
-	// x1 has fixed init: x1(0)=1, rest 0.
-	x1 := make([]byte, nc+n+31)
-	x2 := make([]byte, nc+n+31)
-	x1[0] = 1
-	for i := 0; i < 31; i++ {
-		x2[i] = byte(cinit >> uint(i) & 1)
-	}
-	for i := 0; i < nc+n; i++ {
-		x1[i+31] = x1[i+3] ^ x1[i]
-		x2[i+31] = x2[i+3] ^ x2[i+2] ^ x2[i+1] ^ x2[i]
+	// x1 has fixed init: x1(0)=1, rest 0. x1(i+31) = x1(i+3) ^ x1(i);
+	// x2(i+31) = x2(i+3) ^ x2(i+2) ^ x2(i+1) ^ x2(i).
+	r1 := uint32(1)
+	r2 := cinit & 0x7fffffff
+	for i := 0; i < nc; i++ {
+		r1 = r1>>1 | ((r1>>3^r1)&1)<<30
+		r2 = r2>>1 | ((r2>>3^r2>>2^r2>>1^r2)&1)<<30
 	}
 	out := make([]byte, n)
 	for i := range out {
-		out[i] = x1[i+nc] ^ x2[i+nc]
+		out[i] = byte((r1 ^ r2) & 1)
+		r1 = r1>>1 | ((r1>>3^r1)&1)<<30
+		r2 = r2>>1 | ((r2>>3^r2>>2^r2>>1^r2)&1)<<30
 	}
 	return out
 }
@@ -175,7 +179,8 @@ func GoldSequence(cinit uint32, n int) []byte {
 // given number of columns and reading column-wise. It spreads burst errors
 // across the codeword before Viterbi decoding.
 type BlockInterleaver struct {
-	cols int
+	cols  int
+	perms sync.Map // int -> []int, memoized read-only permutations
 }
 
 // NewBlockInterleaver builds an interleaver with the given column count.
@@ -187,6 +192,9 @@ func NewBlockInterleaver(cols int) *BlockInterleaver {
 }
 
 func (bi *BlockInterleaver) perm(n int) []int {
+	if v, ok := bi.perms.Load(n); ok {
+		return v.([]int)
+	}
 	rows := (n + bi.cols - 1) / bi.cols
 	p := make([]int, 0, n)
 	for c := 0; c < bi.cols; c++ {
@@ -197,11 +205,13 @@ func (bi *BlockInterleaver) perm(n int) []int {
 			}
 		}
 	}
-	return p
+	v, _ := bi.perms.LoadOrStore(n, p)
+	return v.([]int)
 }
 
 // Permutation returns the source-index permutation for length n:
-// Interleave(b)[i] == b[Permutation(n)[i]].
+// Interleave(b)[i] == b[Permutation(n)[i]]. The slice is memoized and shared
+// between calls; callers must treat it as read-only.
 func (bi *BlockInterleaver) Permutation(n int) []int { return bi.perm(n) }
 
 // Interleave permutes b into a fresh slice.

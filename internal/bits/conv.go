@@ -1,6 +1,9 @@
 package bits
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // ConvCode is the LTE tail-biting-style convolutional code reduced to a
 // zero-terminated rate-1/3 (optionally punctured to 1/2) code with
@@ -11,19 +14,60 @@ type ConvCode struct {
 	gens  []uint32
 	punct []bool // puncturing pattern over the rate-3 output, true=keep
 	kept  int    // kept bits per pattern period
+
+	// branches[s][in] is the trellis branch leaving state s on input bit in.
+	// Built once at construction and read-only after, so a single codec is
+	// safe for concurrent decodes.
+	branches [numStates][2]branch
 }
 
 const constraintLen = 7
 
+const numStates = 1 << (constraintLen - 1) // 64
+
+type branch struct {
+	next uint32
+	out  []float64 // expected +1/-1 per kept bit (LLR sign convention)
+}
+
 // NewConvCodeR13 returns the rate-1/3 K=7 code.
 func NewConvCodeR13() *ConvCode {
-	return &ConvCode{rate: 3, gens: []uint32{0o133, 0o171, 0o165}, punct: []bool{true, true, true}, kept: 3}
+	c := &ConvCode{rate: 3, gens: []uint32{0o133, 0o171, 0o165}, punct: []bool{true, true, true}, kept: 3}
+	c.initBranches()
+	return c
 }
 
 // NewConvCodeR12 returns the K=7 code punctured to rate 1/2 (keeps G0 and G1
 // of every triplet).
 func NewConvCodeR12() *ConvCode {
-	return &ConvCode{rate: 3, gens: []uint32{0o133, 0o171, 0o165}, punct: []bool{true, true, false}, kept: 2}
+	c := &ConvCode{rate: 3, gens: []uint32{0o133, 0o171, 0o165}, punct: []bool{true, true, false}, kept: 2}
+	c.initBranches()
+	return c
+}
+
+// initBranches precomputes the expected outputs for each (state, input).
+func (c *ConvCode) initBranches() {
+	for s := uint32(0); s < numStates; s++ {
+		for in := uint32(0); in < 2; in++ {
+			reg := (s<<1 | in) & 0x7f
+			outs := make([]float64, 0, c.kept)
+			for g := 0; g < c.rate; g++ {
+				if !c.punct[g] {
+					continue
+				}
+				v := reg & c.gens[g]
+				v ^= v >> 4
+				v ^= v >> 2
+				v ^= v >> 1
+				if v&1 == 1 {
+					outs = append(outs, -1)
+				} else {
+					outs = append(outs, 1)
+				}
+			}
+			c.branches[s][in] = branch{next: reg & (numStates - 1), out: outs}
+		}
+	}
 }
 
 // Rate returns (input bits, output bits) per pattern period.
@@ -76,6 +120,17 @@ func (c *ConvCode) Decode(coded []byte) []byte {
 	return c.DecodeSoft(llr)
 }
 
+// viterbiScratch holds the per-decode working set: two metric rows and the
+// flat survivor matrix (indexed t*numStates+state). Pooled because the
+// receive chain decodes one codeword per subframe per run.
+type viterbiScratch struct {
+	metric   [numStates]float64
+	next     [numStates]float64
+	survivor []uint16
+}
+
+var viterbiPool = sync.Pool{New: func() any { return new(viterbiScratch) }}
+
 // DecodeSoft runs soft-decision Viterbi decoding. llr[i] > 0 means coded bit
 // i is more likely 0; magnitude is confidence. Returns the information bits
 // or nil if the length is not a whole number of steps.
@@ -88,48 +143,24 @@ func (c *ConvCode) DecodeSoft(llr []float64) []byte {
 	if n <= 0 {
 		return nil
 	}
-	const numStates = 1 << (constraintLen - 1) // 64
-	// Precompute expected outputs for each (state, input).
-	type branch struct {
-		next uint32
-		out  []float64 // expected +1/-1 per kept bit (LLR sign convention)
+	scr := viterbiPool.Get().(*viterbiScratch)
+	defer viterbiPool.Put(scr)
+	if cap(scr.survivor) < steps*numStates {
+		scr.survivor = make([]uint16, steps*numStates)
 	}
-	branches := make([][2]branch, numStates)
-	for s := uint32(0); s < numStates; s++ {
-		for in := uint32(0); in < 2; in++ {
-			reg := (s<<1 | in) & 0x7f
-			var outs []float64
-			for g := 0; g < c.rate; g++ {
-				if !c.punct[g] {
-					continue
-				}
-				v := reg & c.gens[g]
-				v ^= v >> 4
-				v ^= v >> 2
-				v ^= v >> 1
-				if v&1 == 1 {
-					outs = append(outs, -1)
-				} else {
-					outs = append(outs, 1)
-				}
-			}
-			branches[s][in] = branch{next: reg & (numStates - 1), out: outs}
-		}
-	}
+	// survivor[t*numStates+state] = (prevState<<1)|inputBit
+	survivor := scr.survivor[:steps*numStates]
+	metric, next := scr.metric[:], scr.next[:]
 	neg := math.Inf(-1)
-	metric := make([]float64, numStates)
-	next := make([]float64, numStates)
 	for i := range metric {
 		metric[i] = neg
 	}
 	metric[0] = 0
-	// survivor[t][state] = (prevState<<1)|inputBit
-	survivor := make([][]uint16, steps)
 	for t := 0; t < steps; t++ {
-		survivor[t] = make([]uint16, numStates)
 		for i := range next {
 			next[i] = neg
 		}
+		row := survivor[t*numStates : (t+1)*numStates]
 		sym := llr[t*c.kept : (t+1)*c.kept]
 		for s := uint32(0); s < numStates; s++ {
 			if metric[s] == neg {
@@ -140,14 +171,14 @@ func (c *ConvCode) DecodeSoft(llr []float64) []byte {
 				maxIn = 0 // tail: only zero inputs
 			}
 			for in := uint32(0); in <= maxIn; in++ {
-				br := &branches[s][in]
+				br := &c.branches[s][in]
 				m := metric[s]
 				for k, exp := range br.out {
 					m += exp * sym[k]
 				}
 				if m > next[br.next] {
 					next[br.next] = m
-					survivor[t][br.next] = uint16(s<<1 | in)
+					row[br.next] = uint16(s<<1 | in)
 				}
 			}
 		}
@@ -157,7 +188,7 @@ func (c *ConvCode) DecodeSoft(llr []float64) []byte {
 	out := make([]byte, n)
 	state := uint32(0)
 	for t := steps - 1; t >= 0; t-- {
-		sv := survivor[t][state]
+		sv := survivor[t*numStates+int(state)]
 		if t < n {
 			out[t] = byte(sv & 1)
 		}

@@ -37,18 +37,28 @@ type Plan struct {
 }
 
 var (
-	planMu    sync.Mutex
+	planMu    sync.RWMutex
 	planCache = map[int]*Plan{}
 )
 
-// PlanFor returns a cached Plan for size n, building it on first use.
+// PlanFor returns a cached Plan for size n, building it on first use. The
+// fast path takes only a read lock: with the correlation engine on the
+// acquisition path every harness worker hits the cache per subframe, and an
+// exclusive lock here serializes them for no reason once the handful of
+// distinct sizes exist.
 func PlanFor(n int) *Plan {
+	planMu.RLock()
+	p, ok := planCache[n]
+	planMu.RUnlock()
+	if ok {
+		return p
+	}
 	planMu.Lock()
 	defer planMu.Unlock()
 	if p, ok := planCache[n]; ok {
-		return p
+		return p // raced with another builder of the same size
 	}
-	p := NewPlan(n)
+	p = NewPlan(n)
 	planCache[n] = p
 	return p
 }
@@ -127,14 +137,15 @@ func (p *Plan) Forward(dst, src []complex128) {
 func (p *Plan) Inverse(dst, src []complex128) {
 	p.checkLen(dst, src)
 	if p.pow2 {
-		// IFFT via conjugation: ifft(x) = conj(fft(conj(x)))/N
-		tmp := make([]complex128, p.n)
+		// IFFT via conjugation: ifft(x) = conj(fft(conj(x)))/N. dst itself is
+		// the workspace (forwardPow2 runs in place), so the path allocates
+		// nothing — it runs twice per overlap-save block on the hot path.
 		for i, v := range src {
-			tmp[i] = cmplxConj(v)
+			dst[i] = cmplxConj(v)
 		}
-		p.forwardPow2(tmp, tmp)
+		p.forwardPow2(dst, dst)
 		scale := 1 / float64(p.n)
-		for i, v := range tmp {
+		for i, v := range dst {
 			dst[i] = complex(real(v)*scale, -imag(v)*scale)
 		}
 		return
@@ -181,7 +192,12 @@ func (p *Plan) forwardPow2(dst, src []complex128) {
 // chirp-z transform.
 func (p *Plan) bluestein(dst, src []complex128, inverse bool) {
 	n, m := p.n, p.m
-	a := make([]complex128, m)
+	aBuf := AcquireBuf(m)
+	defer ReleaseBuf(aBuf)
+	a := *aBuf
+	for i := n; i < m; i++ {
+		a[i] = 0
+	}
 	if inverse {
 		for k := 0; k < n; k++ {
 			a[k] = cmplxConj(src[k]) * p.chirp[k]
@@ -234,10 +250,19 @@ func IFFT(x []complex128) []complex128 {
 // returning a fresh slice. For odd lengths the extra bin stays on the left of
 // center, matching the usual fftshift convention.
 func FFTShift(x []complex128) []complex128 {
+	return FFTShiftInto(make([]complex128, len(x)), x)
+}
+
+// FFTShiftInto is FFTShift writing into dst, which must have the length of x
+// and must not alias it. It returns dst so per-frame loops (the STFT) can
+// reuse one buffer.
+func FFTShiftInto(dst, x []complex128) []complex128 {
 	n := len(x)
-	out := make([]complex128, n)
+	if len(dst) != n {
+		panic("dsp: FFTShiftInto length mismatch")
+	}
 	half := (n + 1) / 2
-	copy(out, x[half:])
-	copy(out[n-half:], x[:half])
-	return out
+	copy(dst, x[half:])
+	copy(dst[n-half:], x[:half])
+	return dst
 }

@@ -91,11 +91,22 @@ func (f *FIR) ProcessSample(x complex128) complex128 {
 // Process filters a block, writing len(x) outputs into a fresh slice. The
 // delay line persists across calls, so consecutive blocks form one stream.
 func (f *FIR) Process(x []complex128) []complex128 {
-	out := make([]complex128, len(x))
-	for i, v := range x {
-		out[i] = f.ProcessSample(v)
+	return f.ProcessInto(make([]complex128, len(x)), x)
+}
+
+// ProcessInto filters a block into dst, which must be at least len(x) long,
+// and returns dst[:len(x)]. dst may alias x for in-place filtering (each
+// input sample is read before its slot is written). The delay line persists
+// across calls, so consecutive blocks form one stream.
+func (f *FIR) ProcessInto(dst, x []complex128) []complex128 {
+	if len(dst) < len(x) {
+		panic("dsp: FIR.ProcessInto dst too short")
 	}
-	return out
+	dst = dst[:len(x)]
+	for i, v := range x {
+		dst[i] = f.ProcessSample(v)
+	}
+	return dst
 }
 
 // Decimate low-pass-filters x (anti-aliasing at sampleRate/(2*factor)*0.8)

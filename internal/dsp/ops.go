@@ -92,8 +92,11 @@ func MaxAbsIndex(x []complex128) (int, float64) {
 }
 
 // CrossCorrelate returns c[lag] = sum_n x[n+lag] * conj(ref[n]) for
-// lag in [0, len(x)-len(ref)]. It is the direct O(N*M) form, fast enough for
-// the short reference sequences (PSS, preambles) used here.
+// lag in [0, len(x)-len(ref)]. It is the direct O(N*M) form, kept as the
+// reference implementation the FFT engine in correlate.go is pinned against
+// (and as the production path below the crossover, where it wins on
+// constant factors). Hot callers with long references should use Correlate,
+// a Correlator, or a CorrelatorBank instead.
 func CrossCorrelate(x, ref []complex128) []complex128 {
 	if len(ref) == 0 || len(x) < len(ref) {
 		return nil
@@ -112,35 +115,25 @@ func CrossCorrelate(x, ref []complex128) []complex128 {
 
 // NormalizedCorrPeak returns the lag and the normalized correlation magnitude
 // (0..1) of the best match of ref inside x. The normalization divides by the
-// local segment energy so amplitude does not bias detection.
+// local segment energy so amplitude does not bias detection. Correlation runs
+// through the adaptive engine (FFT overlap-save above the crossover); callers
+// that reuse one reference across streams should hold a Correlator and call
+// its NormalizedPeak to skip the per-call reference-spectrum setup.
 func NormalizedCorrPeak(x, ref []complex128) (lag int, peak float64) {
-	corr := CrossCorrelate(x, ref)
 	refE := Energy(ref)
-	if refE == 0 || corr == nil {
+	if refE == 0 || len(ref) == 0 || len(x) < len(ref) {
 		return 0, 0
 	}
-	// Running segment energy to avoid recomputing per lag.
-	segE := Energy(x[:len(ref)])
-	best, bestVal := 0, -1.0
-	for l := range corr {
-		if l > 0 {
-			out := x[l-1]
-			in := x[l+len(ref)-1]
-			segE += real(in)*real(in) + imag(in)*imag(in) - real(out)*real(out) - imag(out)*imag(out)
-		}
-		den := math.Sqrt(segE * refE)
-		if den <= 0 {
-			continue
-		}
-		v := cmplx.Abs(corr[l]) / den
-		if v > bestVal {
-			best, bestVal = l, v
-		}
+	nOut := len(x) - len(ref) + 1
+	corrBuf := AcquireBuf(nOut)
+	defer ReleaseBuf(corrBuf)
+	corr := *corrBuf
+	if useDirect(len(x), len(ref)) {
+		directCorrelate(corr, x, ref)
+	} else {
+		NewCorrelator(ref).Correlate(corr, x)
 	}
-	if bestVal < 0 {
-		return 0, 0
-	}
-	return best, bestVal
+	return peakOverLags(x, corr, len(ref), refE)
 }
 
 // Conj conjugates x in place and returns it.

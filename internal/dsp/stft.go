@@ -59,13 +59,14 @@ func STFT(x []complex128, fftSize, hop int, win Window, sampleRate float64) *Spe
 	plan := PlanFor(fftSize)
 	frame := make([]complex128, fftSize)
 	spec := make([]complex128, fftSize)
+	shifted := make([]complex128, fftSize)
 	var rows [][]float64
 	for start := 0; start+fftSize <= len(x); start += hop {
 		for i := 0; i < fftSize; i++ {
 			frame[i] = x[start+i] * complex(coeffs[i], 0)
 		}
 		plan.Forward(spec, frame)
-		shifted := FFTShift(spec)
+		FFTShiftInto(shifted, spec)
 		row := make([]float64, fftSize)
 		for i, v := range shifted {
 			p := (real(v)*real(v) + imag(v)*imag(v)) / float64(fftSize*fftSize)

@@ -9,6 +9,7 @@ package enodeb
 
 import (
 	"fmt"
+	"sync"
 
 	"lscatter/internal/bits"
 	"lscatter/internal/ltephy"
@@ -27,6 +28,15 @@ type Codec struct {
 	Scheme modem.Scheme
 	conv   *bits.ConvCode
 	inter  *bits.BlockInterleaver
+
+	// scrambles memoizes scrambleSeq per (subframe, n): ten subframes times a
+	// handful of lengths, regenerated every subframe otherwise.
+	scrambles sync.Map // scrambleKey -> []byte
+}
+
+// scrambleKey identifies one cached scrambling sequence.
+type scrambleKey struct {
+	subframe, n int
 }
 
 // NewCodec builds the PDSCH codec (rate-1/2 convolutional, 32-column block
@@ -52,10 +62,17 @@ func (c *Codec) TransportBlockSize(dataREs int) int {
 	return n
 }
 
-// scrambleSeq returns the per-subframe scrambling sequence.
+// scrambleSeq returns the per-subframe scrambling sequence. The slice is
+// cached and shared between calls; callers must treat it as read-only.
 func (c *Codec) scrambleSeq(subframe, n int) []byte {
+	key := scrambleKey{subframe, n}
+	if v, ok := c.scrambles.Load(key); ok {
+		return v.([]byte)
+	}
 	cinit := uint32(c.Params.CellID<<9 | subframe<<4 | 0x5)
-	return bits.GoldSequence(cinit, n)
+	seq := bits.GoldSequence(cinit, n)
+	v, _ := c.scrambles.LoadOrStore(key, seq)
+	return v.([]byte)
 }
 
 // Encode turns payload bits into PDSCH symbols filling dataREs resource

@@ -2,6 +2,7 @@ package ltephy
 
 import (
 	"math"
+	"sync"
 
 	"lscatter/internal/bits"
 )
@@ -40,12 +41,32 @@ func crsSequence(cellID, ns, l, nrb int) []complex128 {
 	return out
 }
 
+// crsKey identifies a cached CRS subframe layout. vshift and the sequence
+// both derive from CellID, so (CellID, NRB, subframe) pins the result.
+type crsKey struct {
+	cellID, nrb, subframe int
+}
+
+var crsCache sync.Map // crsKey -> []CRSValue
+
 // CRSForSubframe returns every port-0 CRS resource element of the given
-// subframe (0..9) for the configured cell, in grid coordinates.
+// subframe (0..9) for the configured cell, in grid coordinates. The result
+// is cached per (cell, bandwidth, subframe) and shared between callers, who
+// must treat it as read-only.
 func CRSForSubframe(p Params, subframe int) []CRSValue {
+	key := crsKey{p.CellID, p.BW.NRB(), subframe}
+	if v, ok := crsCache.Load(key); ok {
+		return v.([]CRSValue)
+	}
+	out := buildCRSSubframe(p, subframe)
+	v, _ := crsCache.LoadOrStore(key, out)
+	return v.([]CRSValue)
+}
+
+func buildCRSSubframe(p Params, subframe int) []CRSValue {
 	nrb := p.BW.NRB()
 	vshift := p.CellID % 6
-	var out []CRSValue
+	out := make([]CRSValue, 0, SlotsPerSubframe*len(CRSSymbols)*2*nrb)
 	for slotInSF := 0; slotInSF < SlotsPerSubframe; slotInSF++ {
 		ns := 2*subframe + slotInSF
 		for _, l := range CRSSymbols {

@@ -33,9 +33,15 @@ type Grid struct {
 	Subframe int // 0..9 within the radio frame
 	RE       [][]complex128
 	Kind     [][]REKind
+
+	// dataREs memoizes DataREs between Kind mutations (nil = stale). The
+	// mapping methods invalidate it; code that writes Kind directly must not
+	// rely on a previously fetched DataREs slice.
+	dataREs [][2]int
 }
 
-// NewGrid allocates an empty subframe grid.
+// NewGrid allocates an empty subframe grid. The rows of RE and Kind share
+// one backing array each, so a grid costs two allocations instead of 2*14.
 func NewGrid(p Params, subframe int) *Grid {
 	if err := p.Validate(); err != nil {
 		panic(err)
@@ -47,9 +53,11 @@ func NewGrid(p Params, subframe int) *Grid {
 	g := &Grid{Params: p, Subframe: subframe}
 	g.RE = make([][]complex128, SymbolsPerSubframe)
 	g.Kind = make([][]REKind, SymbolsPerSubframe)
+	reBack := make([]complex128, SymbolsPerSubframe*k)
+	kindBack := make([]REKind, SymbolsPerSubframe*k)
 	for l := range g.RE {
-		g.RE[l] = make([]complex128, k)
-		g.Kind[l] = make([]REKind, k)
+		g.RE[l] = reBack[l*k : (l+1)*k : (l+1)*k]
+		g.Kind[l] = kindBack[l*k : (l+1)*k : (l+1)*k]
 	}
 	return g
 }
@@ -74,6 +82,7 @@ func (g *Grid) HasSync() bool { return g.Subframe == 0 || g.Subframe == 5 }
 // MapSyncAndRef places PSS, SSS (when present) and port-0 CRS into the grid.
 // The PSS/SSS REs are boosted by Params.PSSBoostDB.
 func (g *Grid) MapSyncAndRef() {
+	g.dataREs = nil
 	k := g.K()
 	boost := complex(math.Pow(10, g.Params.PSSBoostDB/20), 0)
 	if g.HasSync() {
@@ -122,6 +131,7 @@ func (g *Grid) placeCenter62(l int, seq []complex128, kind REKind, gain complex1
 // the provided symbols on every RE not already used by CRS. It returns the
 // number of symbols consumed.
 func (g *Grid) MapControl(symbols []complex128) int {
+	g.dataREs = nil
 	used := 0
 	for l := 0; l < controlSymbols && l < SymbolsPerSubframe; l++ {
 		for k := 0; k < g.K(); k++ {
@@ -140,27 +150,43 @@ func (g *Grid) MapControl(symbols []complex128) int {
 }
 
 // DataREs returns the (symbol, subcarrier) coordinates available for PDSCH,
-// in symbol-major order. Call after MapSyncAndRef (and MapControl).
+// in symbol-major order. Call after MapSyncAndRef (and MapControl). The
+// result is memoized until the next mapping call (the receive path asks
+// twice per subframe — capacity, then mapping) and is shared: callers must
+// treat it as read-only.
 func (g *Grid) DataREs() [][2]int {
-	var out [][2]int
+	if g.dataREs != nil {
+		return g.dataREs
+	}
+	// Two passes: count, then fill an exact-size slice — the append-growth
+	// copies on a 20 MHz grid are measurable across a harness run.
+	count := 0
+	g.scanDataREs(func([2]int) { count++ })
+	out := make([][2]int, 0, count)
+	g.scanDataREs(func(re [2]int) { out = append(out, re) })
+	g.dataREs = out
+	return out
+}
+
+// scanDataREs visits the PDSCH-eligible coordinates in symbol-major order.
+func (g *Grid) scanDataREs(visit func([2]int)) {
 	for l := controlSymbols; l < SymbolsPerSubframe; l++ {
 		if g.HasSync() && (l == PSSSymbolIndex || l == SSSSymbolIndex) {
 			// Only the central 72 subcarriers are reserved in sync symbols;
 			// the outer RBs still carry data.
 			for k := 0; k < g.K(); k++ {
 				if g.Kind[l][k] == REEmpty && !g.inSyncBand(k) {
-					out = append(out, [2]int{l, k})
+					visit([2]int{l, k})
 				}
 			}
 			continue
 		}
 		for k := 0; k < g.K(); k++ {
 			if g.Kind[l][k] == REEmpty {
-				out = append(out, [2]int{l, k})
+				visit([2]int{l, k})
 			}
 		}
 	}
-	return out
 }
 
 // inSyncBand reports whether subcarrier k lies in the central 72-subcarrier
@@ -184,6 +210,7 @@ func (g *Grid) MapData(symbols []complex128) int {
 		g.RE[l][k] = symbols[i]
 		g.Kind[l][k] = REData
 	}
+	g.dataREs = nil // the loop above consumed the memo, then changed Kind
 	return n
 }
 

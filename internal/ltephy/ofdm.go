@@ -32,8 +32,10 @@ func Modulate(g *Grid) []complex128 {
 	n := p.BW.FFTSize() * p.Oversample
 	k := g.K()
 	out := make([]complex128, 0, p.Oversample*p.BW.SamplesPerSubframe())
-	freq := make([]complex128, n)
-	sym := make([]complex128, n)
+	freqBuf, symBuf := dsp.AcquireBuf(n), dsp.AcquireBuf(n)
+	defer dsp.ReleaseBuf(freqBuf)
+	defer dsp.ReleaseBuf(symBuf)
+	freq, sym := *freqBuf, *symBuf
 	// Amplitude scale: inverse FFT normalizes by 1/n, so multiply by
 	// n/sqrt(K) to make average time power ~= average constellation power.
 	gain := complex(float64(n)/math.Sqrt(float64(k)), 0)
@@ -63,7 +65,9 @@ func Demodulate(p Params, samples []complex128, subframe int) (*Grid, error) {
 	n := p.BW.FFTSize() * p.Oversample
 	k := p.BW.Subcarriers()
 	g := NewGrid(p, subframe)
-	freq := make([]complex128, n)
+	freqBuf := dsp.AcquireBuf(n)
+	defer dsp.ReleaseBuf(freqBuf)
+	freq := *freqBuf
 	gain := complex(math.Sqrt(float64(k))/float64(n), 0)
 	pos := 0
 	for l := 0; l < SymbolsPerSubframe; l++ {

@@ -142,6 +142,7 @@ func (g *Grid) MapPBCH(syms []complex128) {
 	if len(syms) != len(res) {
 		panic("ltephy: PBCH symbol count mismatch")
 	}
+	g.dataREs = nil
 	for i, re := range res {
 		g.RE[re[0]][re[1]] = syms[i]
 		g.Kind[re[0]][re[1]] = REPBCH

@@ -3,10 +3,39 @@ package ue
 import (
 	"errors"
 	"math/cmplx"
+	"sync"
 
 	"lscatter/internal/dsp"
 	"lscatter/internal/ltephy"
 )
+
+// pssBankKey identifies one cached PSS correlator bank. The three PSS roots
+// depend only on the numerology (bandwidth and oversampling), not on the
+// cell identity or boost, so every cell search over the same waveform shape
+// shares one bank — the reference spectra are computed once per process.
+type pssBankKey struct {
+	bw         ltephy.Bandwidth
+	oversample int
+}
+
+var pssBanks sync.Map // pssBankKey -> *dsp.CorrelatorBank
+
+// pssBank returns the shared three-root PSS correlator bank for the given
+// numerology, building it on first use.
+func pssBank(bw ltephy.Bandwidth, oversample int) *dsp.CorrelatorBank {
+	key := pssBankKey{bw: bw, oversample: oversample}
+	if v, ok := pssBanks.Load(key); ok {
+		return v.(*dsp.CorrelatorBank)
+	}
+	refs := make([][]complex128, 3)
+	for nid2 := range refs {
+		p := ltephy.Params{BW: bw, CellID: nid2, Oversample: oversample}
+		refs[nid2] = ltephy.PSSTimeDomain(p)
+	}
+	bank := dsp.NewCorrelatorBank(refs)
+	actual, _ := pssBanks.LoadOrStore(key, bank)
+	return actual.(*dsp.CorrelatorBank)
+}
 
 // CellSearchResult is the outcome of blind cell acquisition.
 type CellSearchResult struct {
@@ -41,15 +70,14 @@ func CellSearch(bw ltephy.Bandwidth, oversample int, samples []complex128) (*Cel
 	if len(samples) < 2*n+ltephy.SymbolsPerSubframe*n {
 		return nil, errors.New("ue: stream too short for cell search")
 	}
-	// Stage 1: PSS timing and NID2.
+	// Stage 1: PSS timing and NID2. The bank transforms each stream block
+	// once and multiplies it against all three root spectra, so the sweep
+	// costs one forward FFT pass over the stream instead of three.
 	best := &CellSearchResult{PSSCorr: -1}
-	for nid2 := 0; nid2 < 3; nid2++ {
-		p := ltephy.Params{BW: bw, CellID: nid2, Oversample: oversample}
-		ref := ltephy.PSSTimeDomain(p)
-		lag, peak := dsp.NormalizedCorrPeak(samples, ref)
-		if peak > best.PSSCorr {
-			best.PSSCorr = peak
-			best.PSSSample = lag
+	for nid2, pk := range pssBank(bw, oversample).NormalizedPeaks(samples) {
+		if pk.Peak > best.PSSCorr {
+			best.PSSCorr = pk.Peak
+			best.PSSSample = pk.Lag
 			best.CellID = nid2 // provisional: NID2 only
 		}
 	}
@@ -68,7 +96,9 @@ func CellSearch(bw ltephy.Bandwidth, oversample int, samples []complex128) (*Cel
 	}
 	// Demodulate the 62 central subcarriers of both symbols.
 	central := func(start int) []complex128 {
-		spec := make([]complex128, n)
+		specBuf := dsp.AcquireBuf(n)
+		defer dsp.ReleaseBuf(specBuf)
+		spec := *specBuf
 		dsp.PlanFor(n).Forward(spec, samples[start:start+n])
 		out := make([]complex128, 62)
 		k := bw.Subcarriers()

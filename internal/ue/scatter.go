@@ -67,7 +67,10 @@ type ScatterResult struct {
 
 // ScatterDemod demodulates the LScatter hybrid band. It holds burst state:
 // the modulation offset and backscatter channel estimated from the most
-// recent preamble are applied to subsequent subframes.
+// recent preamble are applied to subsequent subframes. A ScatterDemod
+// processes one stream and is not safe for concurrent use — besides the
+// burst state it owns per-call scratch buffers, so the steady-state receive
+// path allocates only what it returns.
 type ScatterDemod struct {
 	cfg  ScatterConfig
 	n    int // oversampled FFT size (M * N)
@@ -80,6 +83,23 @@ type ScatterDemod struct {
 	subOff   int          // sub-unit offset in oversampled samples [0, Oversample)
 	chanEst  []complex128 // per-bin equalizer over clean bins (length n)
 	cleanBin []bool       // usable hybrid observation bins
+	// precomputed state (read-only after construction)
+	wave    []complex128         // downshifted phase-0 switch waveform per unit
+	kTime   []complex128         // IFFT of the clean-bin indicator (projection kernel)
+	preBank *dsp.CorrelatorBank  // preamble sign sequences, one per configured tag
+	tagIDs  []int                // resolved tag list (defaults to {0})
+	// scratch (reused across calls; never escapes)
+	scrZ       []complex128 // downshifted subframe
+	scrHyb     []complex128
+	scrSpec    []complex128
+	scrRef     []complex128
+	scrExpect  []complex128
+	scrResid   []complex128
+	scrMetrics []complex128
+	scrCorr    [][]complex128
+	scrAbsM    []float64
+	scrTU      []float64
+	scrAlpha   []float64
 }
 
 // NewScatterDemod builds the demodulator.
@@ -105,6 +125,50 @@ func NewScatterDemod(cfg ScatterConfig) *ScatterDemod {
 		plan: dsp.PlanFor(n),
 	}
 	d.cleanBin = d.computeCleanBins()
+	d.wave = d.refWaveUnit()
+	// The clean-bin projection kernel only depends on the bin mask, so the
+	// refinement stage reuses one IFFT forever.
+	kernel := make([]complex128, d.n)
+	for b := range kernel {
+		if d.cleanBin[b] {
+			kernel[b] = 1
+		}
+	}
+	d.kTime = make([]complex128, d.n)
+	d.plan.Inverse(d.kTime, kernel)
+	// Preamble matched filters: the offset search is a cross-correlation of
+	// the per-unit metric stream against each tag's ±1 sign sequence, served
+	// by the batch engine with spectra precomputed here.
+	d.tagIDs = cfg.TagIDs
+	if len(d.tagIDs) == 0 {
+		d.tagIDs = []int{0}
+	}
+	nBits := p.UsefulModulationUnits()
+	refs := make([][]complex128, len(d.tagIDs))
+	for t, id := range d.tagIDs {
+		signs := make([]complex128, nBits)
+		for i, b := range tag.PreambleFor(id, nBits) {
+			if b == 0 {
+				signs[i] = -1 // bit 0 -> phase pi
+			} else {
+				signs[i] = 1
+			}
+		}
+		refs[t] = signs
+	}
+	d.preBank = dsp.NewCorrelatorBank(refs)
+	// Scratch sized once: every per-subframe buffer below is reused.
+	d.scrZ = make([]complex128, p.Oversample*p.BW.SamplesPerSubframe())
+	d.scrHyb = make([]complex128, d.n)
+	d.scrSpec = make([]complex128, d.n)
+	d.scrRef = make([]complex128, d.n)
+	d.scrExpect = make([]complex128, d.n)
+	d.scrResid = make([]complex128, d.n)
+	d.scrMetrics = make([]complex128, d.nNom)
+	d.scrCorr = make([][]complex128, len(d.tagIDs))
+	d.scrAbsM = make([]float64, d.nNom)
+	d.scrTU = make([]float64, d.nNom)
+	d.scrAlpha = make([]float64, d.nNom)
 	return d
 }
 
@@ -171,12 +235,13 @@ func (d *ScatterDemod) checkInputs(rx, refSamples []complex128, subframe int) {
 	}
 }
 
-// downshift returns x multiplied by exp(-j*2*pi*n/Oversample): it moves the
-// upper backscatter sideband at +1/Ts to baseband. startSample anchors the
-// mixer phase to the absolute stream position.
+// downshift fills the z scratch with x multiplied by
+// exp(-j*2*pi*n/Oversample): it moves the upper backscatter sideband at
+// +1/Ts to baseband. startSample anchors the mixer phase to the absolute
+// stream position.
 func (d *ScatterDemod) downshift(x []complex128, startSample int) []complex128 {
 	ov := d.cfg.Params.Oversample
-	out := make([]complex128, len(x))
+	out := d.scrZ[:len(x)]
 	for i := range x {
 		ph := -2 * math.Pi * float64((startSample+i)%ov) / float64(ov)
 		out[i] = x[i] * cmplx.Exp(complex(0, ph))
@@ -185,16 +250,16 @@ func (d *ScatterDemod) downshift(x []complex128, startSample int) []complex128 {
 }
 
 // symbolSpectrum FFTs the useful window of symbol l from the downshifted
-// subframe and returns the n-point spectrum.
-func (d *ScatterDemod) symbolSpectrum(z []complex128, l int) []complex128 {
+// subframe into dst (length n) and returns it.
+func (d *ScatterDemod) symbolSpectrum(dst, z []complex128, l int) []complex128 {
 	start := ltephy.UsefulStart(d.cfg.Params, l)
-	spec := make([]complex128, d.n)
-	d.plan.Forward(spec, z[start:start+d.n])
-	return spec
+	d.plan.Forward(dst, z[start:start+d.n])
+	return dst
 }
 
-// refWaveUnit returns the downshifted phase-0 switch waveform over one unit:
-// wave[m][0] * exp(-j*2*pi*m/ov). The per-unit matched filter divides by it.
+// refWaveUnit computes the downshifted phase-0 switch waveform over one
+// unit: wave[m][0] * exp(-j*2*pi*m/ov). It runs once at construction; the
+// hot paths read the cached d.wave.
 func (d *ScatterDemod) refWaveUnit() []complex128 {
 	ov := d.cfg.Params.Oversample
 	w := make([]complex128, ov)
@@ -217,11 +282,11 @@ func (d *ScatterDemod) refWaveUnit() []complex128 {
 	return w
 }
 
-// hybridTime reconstructs the time-domain hybrid estimate for symbol l:
-// FFT -> keep clean bins -> optional equalization -> IFFT. The result
-// approximates g * x_ref[n] * s[n] over the useful window.
-func (d *ScatterDemod) hybridTime(z []complex128, l int, equalize bool) []complex128 {
-	spec := d.symbolSpectrum(z, l)
+// hybridTime reconstructs the time-domain hybrid estimate for symbol l into
+// dst (length n): FFT -> keep clean bins -> optional equalization -> IFFT.
+// The result approximates g * x_ref[n] * s[n] over the useful window.
+func (d *ScatterDemod) hybridTime(dst, z []complex128, l int, equalize bool) []complex128 {
+	spec := d.symbolSpectrum(d.scrSpec, z, l)
 	for b := range spec {
 		if !d.cleanBin[b] {
 			spec[b] = 0
@@ -236,9 +301,8 @@ func (d *ScatterDemod) hybridTime(z []complex128, l int, equalize bool) []comple
 			}
 		}
 	}
-	out := make([]complex128, d.n)
-	d.plan.Inverse(out, spec)
-	return out
+	d.plan.Inverse(dst, spec)
+	return dst
 }
 
 // unitMetrics computes the per-unit complex decision metrics for symbol l at
@@ -250,9 +314,9 @@ func (d *ScatterDemod) unitMetrics(hyb, refSamples []complex128, l, sub int) []c
 	p := d.cfg.Params
 	ov := p.Oversample
 	refStart := ltephy.UsefulStart(p, l)
-	wave := d.refWaveUnit()
+	wave := d.wave
 	units := d.nNom
-	out := make([]complex128, units)
+	out := d.scrMetrics[:units]
 	for u := 0; u < units; u++ {
 		var acc complex128
 		for m := 0; m < ov; m++ {
@@ -286,54 +350,48 @@ func (d *ScatterDemod) AcquireBurst(rx, refSamples []complex128, subframe, start
 	z := d.downshift(rx, startSample)
 	syms := modulatedSymbols(subframe)
 	preSym := syms[0]
-	hyb := d.hybridTime(z, preSym, false)
+	hyb := d.hybridTime(d.scrHyb, z, preSym, false)
 
 	// Offset search at sample granularity: the tag's clock may sit anywhere
 	// within a basic-timing unit, so the search sweeps the configured tag
 	// identities, the unit offset (§3.3.2's modulation offset) and the
 	// sub-unit sample offset. The common phase is unknown at this point, so
-	// correlate on the complex metric and take the magnitude.
-	nBits := p.UsefulModulationUnits()
-	tagIDs := d.cfg.TagIDs
-	if len(tagIDs) == 0 {
-		tagIDs = []int{0}
-	}
-	preambles := make(map[int][]float64, len(tagIDs))
-	for _, id := range tagIDs {
-		signs := make([]float64, nBits)
-		for i, b := range tag.PreambleFor(id, nBits) {
-			if b == 0 {
-				signs[i] = -1 // bit 0 -> phase pi
-			} else {
-				signs[i] = 1
-			}
-		}
-		preambles[id] = signs
-	}
+	// correlate on the complex metric and take the magnitude. The sweep over
+	// unit offsets against every tag's ±1 sign sequence is exactly a batch
+	// cross-correlation, served by the precomputed preamble bank; the
+	// normalization sum of |metric| reuses magnitudes computed once per
+	// sub-unit offset instead of once per candidate window.
+	nBits := d.preBank.RefLen()
+	tagIDs := d.tagIDs
 	nominal := d.windowStartUnitInSymbol()
+	lo := nominal - d.cfg.OffsetSearch
+	if lo < 0 {
+		lo = 0
+	}
+	hi := nominal + d.cfg.OffsetSearch
+	if max := d.nNom - nBits; hi > max {
+		hi = max
+	}
 	bestOff, bestSub, bestID, bestVal := 0, 0, tagIDs[0], -1.0
-	for sub := 0; sub < p.Oversample; sub++ {
+	for sub := 0; sub < p.Oversample && lo <= hi; sub++ {
 		metrics := d.unitMetrics(hyb, refSamples, preSym, sub)
-		for off := -d.cfg.OffsetSearch; off <= d.cfg.OffsetSearch; off++ {
-			w0 := nominal + off
-			if w0 < 0 || w0+nBits > d.nNom {
-				continue
-			}
+		absM := d.scrAbsM[:len(metrics)]
+		for i, m := range metrics {
+			absM[i] = cmplx.Abs(m)
+		}
+		corrs := d.preBank.CorrelateAll(d.scrCorr, metrics[lo:hi+nBits])
+		d.scrCorr = corrs
+		for w0 := lo; w0 <= hi; w0++ {
 			var norm float64
-			accs := make(map[int]complex128, len(tagIDs))
 			for i := 0; i < nBits; i++ {
-				m := metrics[w0+i]
-				norm += cmplx.Abs(m)
-				for _, id := range tagIDs {
-					accs[id] += m * complex(preambles[id][i], 0)
-				}
+				norm += absM[w0+i]
 			}
 			if norm == 0 {
 				continue
 			}
-			for _, id := range tagIDs {
-				if v := cmplx.Abs(accs[id]) / norm; v > bestVal {
-					bestVal, bestOff, bestSub, bestID = v, off, sub, id
+			for t := range tagIDs {
+				if v := cmplx.Abs(corrs[t][w0-lo]) / norm; v > bestVal {
+					bestVal, bestOff, bestSub, bestID = v, w0-nominal, sub, tagIDs[t]
 				}
 			}
 		}
@@ -362,7 +420,7 @@ func (d *ScatterDemod) buildExpect(expect, refSamples []complex128, l int, sign 
 	p := d.cfg.Params
 	ov := p.Oversample
 	refStart := ltephy.UsefulStart(p, l)
-	wave := d.refWaveUnit()
+	wave := d.wave
 	for rel := 0; rel < d.n; rel++ {
 		local := rel - d.subOff
 		u := local / ov
@@ -379,7 +437,9 @@ func (d *ScatterDemod) buildExpect(expect, refSamples []complex128, l int, sign 
 // preamble symbol.
 func (d *ScatterDemod) estimateChannel(z, refSamples []complex128, preSym int, pre []byte) []complex128 {
 	// Build the expected downshifted hybrid: ref * wave * s(preamble, offset).
-	expect := make([]complex128, d.n)
+	// The offset search is over by now, so its hyb scratch is free to hold
+	// the received spectrum.
+	expect := d.scrExpect
 	w0 := d.windowStartUnitInSymbol() + d.offset
 	d.buildExpect(expect, refSamples, preSym, func(u int) float64 {
 		if idx := u - w0; idx >= 0 && idx < len(pre) && pre[idx] == 0 {
@@ -387,9 +447,9 @@ func (d *ScatterDemod) estimateChannel(z, refSamples []complex128, preSym int, p
 		}
 		return 1
 	})
-	expSpec := make([]complex128, d.n)
+	expSpec := d.scrSpec
 	d.plan.Forward(expSpec, expect)
-	got := d.symbolSpectrum(z, preSym)
+	got := d.symbolSpectrum(d.scrHyb, z, preSym)
 	// Energy-weighted local least squares (maximum-ratio style): bins where
 	// the expected spectrum is strong dominate the estimate, so spectral
 	// nulls of the excitation do not inject noise.
@@ -438,7 +498,7 @@ func (d *ScatterDemod) DemodSubframe(rx, refSamples []complex128, subframe, star
 		syms = syms[1:]
 	}
 	for _, l := range syms {
-		hyb := d.hybridTime(z, l, true)
+		hyb := d.hybridTime(d.scrHyb, z, l, true)
 		metrics := d.unitMetrics(hyb, refSamples, l, d.subOff)
 		bitsOut := make([]byte, nBits)
 		for i := 0; i < nBits; i++ {
@@ -468,12 +528,12 @@ func (d *ScatterDemod) refine(hyb, refSamples []complex128, l, w0 int, bitsOut [
 	p := d.cfg.Params
 	ov := p.Oversample
 	refStart := ltephy.UsefulStart(p, l)
-	wave := d.refWaveUnit()
+	wave := d.wave
 	sub := d.subOff
 	// Reference r[rel] = x_ref * wave over the useful window at the burst's
 	// sub-unit alignment, and per-unit energies T_u over the unit's samples
 	// [u*ov+sub, u*ov+sub+ov).
-	ref := make([]complex128, d.n)
+	ref := d.scrRef
 	for rel := 0; rel < d.n; rel++ {
 		local := rel - sub
 		m := local % ov
@@ -483,7 +543,7 @@ func (d *ScatterDemod) refine(hyb, refSamples []complex128, l, w0 int, bitsOut [
 		ref[rel] = refSamples[refStart+rel] * wave[m]
 	}
 	sampleOf := func(u, m int) int { return u*ov + sub + m }
-	tU := make([]float64, d.nNom)
+	tU := d.scrTU[:d.nNom]
 	for u := 0; u < d.nNom; u++ {
 		var e float64
 		for m := 0; m < ov; m++ {
@@ -498,16 +558,10 @@ func (d *ScatterDemod) refine(hyb, refSamples []complex128, l, w0 int, bitsOut [
 	}
 	// Exact own-unit retained energy under the clean-bin projection B:
 	// alpha_u = sum_{m,m' in u} kappa[m-m'] ref[m'] conj(ref[m]), with
-	// kappa = IFFT of the clean-bin indicator (the projection's kernel).
-	kernel := make([]complex128, d.n)
-	for b := range kernel {
-		if d.cleanBin[b] {
-			kernel[b] = 1
-		}
-	}
-	kTime := make([]complex128, d.n)
-	d.plan.Inverse(kTime, kernel)
-	alpha := make([]float64, d.nNom)
+	// kappa = IFFT of the clean-bin indicator (the projection's kernel,
+	// precomputed at construction).
+	kTime := d.kTime
+	alpha := d.scrAlpha[:d.nNom]
 	for u := 0; u < d.nNom; u++ {
 		var acc complex128
 		for m := 0; m < ov; m++ {
@@ -525,8 +579,8 @@ func (d *ScatterDemod) refine(hyb, refSamples []complex128, l, w0 int, bitsOut [
 	kappa0 := float64(d.CleanBinCount()) / float64(d.n)
 	// Initial residual e = hyb - B(ref * s) with the starting decisions
 	// (idle units carry s = +1).
-	expect := make([]complex128, d.n)
-	spec := make([]complex128, d.n)
+	expect := d.scrExpect
+	spec := d.scrSpec
 	d.buildExpect(expect, refSamples, l, func(u int) float64 {
 		if i := u - w0; i >= 0 && i < len(bitsOut) && bitsOut[i] == 0 {
 			return -1
@@ -540,7 +594,7 @@ func (d *ScatterDemod) refine(hyb, refSamples []complex128, l, w0 int, bitsOut [
 		}
 	}
 	d.plan.Inverse(expect, spec)
-	e := make([]complex128, d.n)
+	e := d.scrResid
 	for i := range e {
 		e[i] = hyb[i] - expect[i]
 	}

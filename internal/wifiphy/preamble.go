@@ -2,6 +2,7 @@ package wifiphy
 
 import (
 	"math"
+	"sync"
 
 	"lscatter/internal/dsp"
 )
@@ -70,6 +71,18 @@ func Preamble() []complex128 {
 	return out
 }
 
+// The LTF is a constant of the standard, so its matched filter (reference
+// spectrum and plan) is built once per process.
+var (
+	ltfOnce sync.Once
+	ltfCorr *dsp.Correlator
+)
+
+func ltfCorrelator() *dsp.Correlator {
+	ltfOnce.Do(func() { ltfCorr = dsp.NewCorrelator(ltfSymbol()) })
+	return ltfCorr
+}
+
 // ltfFreqRef returns the known LTF subcarrier values for channel estimation.
 func ltfFreqRef() []complex128 {
 	out := make([]complex128, FFTSize)
@@ -115,34 +128,56 @@ func DetectPacket(x []complex128) (start int, conf float64, ok bool) {
 	}
 	// Fine: cross-correlate the LTF around the coarse estimate. The coarse
 	// plateau spans roughly [start-80, start+144], so the first long symbol
-	// (start+192) lies within [bestI+48, bestI+272].
-	ltf := ltfSymbol()
+	// (start+192) lies within [bestI+48, bestI+272]. One engine pass serves
+	// both the detection test and the earliest-peak re-scan below; segment
+	// energy advances by a running recurrence instead of a fresh O(M) sum
+	// per lag, and everything compares in the squared domain.
+	ltfC := ltfCorrelator()
+	m := ltfC.RefLen()
+	refE := ltfC.RefEnergy()
 	searchLo := bestI + 40
 	searchHi := bestI + 300
-	if searchHi+len(ltf) > len(x) {
-		searchHi = len(x) - len(ltf)
+	if searchHi+m > len(x) {
+		searchHi = len(x) - m
 	}
 	if searchHi <= searchLo {
 		return 0, 0, false
 	}
-	_, peak := dsp.NormalizedCorrPeak(x[searchLo:searchHi+len(ltf)], ltf)
-	if peak < 0.4 {
-		return 0, 0, false
-	}
-	// The two long symbols (and the GI2 that copies the symbol tail) create
-	// several near-equal correlation peaks 64 samples apart; the first LTF
-	// symbol is the EARLIEST near-maximal lag. Re-scan for it.
-	corrs := dsp.CrossCorrelate(x[searchLo:searchHi+len(ltf)], ltf)
-	refE := dsp.Energy(ltf)
-	firstLag := -1
+	seg := x[searchLo : searchHi+m]
+	corrBuf := dsp.AcquireBuf(len(seg) - m + 1)
+	defer dsp.ReleaseBuf(corrBuf)
+	corrs := ltfC.Correlate(*corrBuf, seg)
+	peakSq := -1.0
+	segE := dsp.Energy(seg[:m])
 	for l := range corrs {
-		segE := dsp.Energy(x[searchLo+l : searchLo+l+len(ltf)])
+		if l > 0 {
+			segE += abs2(seg[l+m-1]) - abs2(seg[l-1])
+		}
 		den := segE * refE
 		if den <= 0 {
 			continue
 		}
-		v := abs2(corrs[l]) / den
-		if v >= 0.96*peak*peak {
+		if v := abs2(corrs[l]) / den; v > peakSq {
+			peakSq = v
+		}
+	}
+	if peakSq < 0.4*0.4 {
+		return 0, 0, false
+	}
+	// The two long symbols (and the GI2 that copies the symbol tail) create
+	// several near-equal correlation peaks 64 samples apart; the first LTF
+	// symbol is the EARLIEST near-maximal lag.
+	firstLag := -1
+	segE = dsp.Energy(seg[:m])
+	for l := range corrs {
+		if l > 0 {
+			segE += abs2(seg[l+m-1]) - abs2(seg[l-1])
+		}
+		den := segE * refE
+		if den <= 0 {
+			continue
+		}
+		if abs2(corrs[l])/den >= 0.96*peakSq {
 			firstLag = l
 			break
 		}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# benchdiff.sh OLD.json NEW.json [benchdiff flags...]
+# Compares two `lscatter-bench -metrics` reports (per-artifact wall clock and
+# allocation deltas plus totals) and exits nonzero when the newer report
+# regresses total alloc_bytes beyond the threshold. Thin wrapper over
+# tools/benchdiff so `make bench-compare` and CI share one implementation.
+set -e
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 OLD.json NEW.json [flags...]" >&2
+    exit 2
+fi
+old="$1"
+new="$2"
+shift 2
+cd "$(dirname "$0")/.."
+exec "${GO:-go}" run ./tools/benchdiff "$@" "$old" "$new"

@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench bench-compare figures examples cover clean
+.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench bench-compare figures examples examples-check cover clean
 
 all: vet test
 
-# The full gate a PR must pass: vet, the suite under the race detector, and
-# the doc-comment check. Run it before pushing.
-ci: vet race docs-check
+# The full gate a PR must pass: vet, the suite under the race detector, the
+# doc-comment check and the example-stdout goldens. Run it before pushing.
+ci: vet race docs-check examples-check
 
 test:
 	$(GO) test ./...
@@ -68,6 +68,12 @@ examples:
 	$(GO) run ./examples/continuousauth
 	$(GO) run ./examples/spectrumsurvey
 	$(GO) run ./examples/multitag
+
+# Golden-stdout smoke tests for every example (testdata/examples/*.txt);
+# regenerate after an intentional output change with
+# `go test -run TestExampleStdout -update .` and review the diff.
+examples-check:
+	$(GO) test -run TestExampleStdout -count=1 .
 
 cover:
 	$(GO) test -cover ./...

@@ -172,6 +172,22 @@ func BenchmarkExactChainSubframe5MHz(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineExact measures the staged simlink engine end to end: a
+// four-subframe exact-mode session (the golden-vector configuration) per
+// iteration, covering Session stepping, the tag bank, the two-hop channel,
+// the Link combine and the demod sink's bit accounting. Its allocation count
+// is the canary for pipeline-layer regressions under `make bench-compare`.
+func BenchmarkPipelineExact(b *testing.B) {
+	cfg := core.DefaultLinkConfig(ltephy.BW1_4)
+	cfg.Mode = core.Exact
+	cfg.Subframes = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		reportSink = core.Run(cfg)
+	}
+}
+
 // BenchmarkSemiAnalyticLink measures the closed-form evaluator used by the
 // parameter sweeps.
 func BenchmarkSemiAnalyticLink(b *testing.B) {

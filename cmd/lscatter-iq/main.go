@@ -16,10 +16,12 @@ import (
 	"math"
 	"os"
 
+	"lscatter/internal/channel"
 	"lscatter/internal/dsp"
 	"lscatter/internal/enodeb"
 	"lscatter/internal/ltephy"
 	"lscatter/internal/rng"
+	"lscatter/internal/simlink"
 	"lscatter/internal/tag"
 )
 
@@ -66,38 +68,43 @@ func synthesize(path, bwStr string, subframes int, withTag bool, seed uint64) er
 	cfg := enodeb.DefaultConfig(bw)
 	cfg.Seed = seed
 	enb := enodeb.New(cfg)
-	var mod *tag.Modulator
-	if withTag {
-		mod = tag.NewModulator(tag.ModConfig{Params: cfg.Params})
-		mod.QueueBits(rng.New(seed + 1).Bits(make([]byte, subframes*12*mod.PerSymbolBits())))
-	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	w := bufio.NewWriter(f)
+
+	// The capture is the pipeline's received stream: clean downlink when the
+	// session has no Link (RX aliases the ambient samples), or the
+	// direct + attenuated-reflection combine when a tag rides along.
 	total := 0
-	for i := 0; i < subframes; i++ {
-		sf := enb.NextSubframe()
-		buf := sf.Samples
-		if mod != nil {
-			reflected, _ := mod.ModulateSubframe(sf.Samples, sf.Index, sf.Index == 0 || sf.Index == 5)
-			buf = make([]complex128, len(sf.Samples))
-			g := math.Pow(10, -30.0/20)
-			for j := range buf {
-				buf[j] = sf.Samples[j] + reflected[j]*complex(g, 0)
+	var werr error
+	sess := &simlink.Session{
+		Source: enb,
+		Sink: simlink.SinkFunc(func(fr *simlink.Frame) bool {
+			for _, v := range fr.RX {
+				if werr == nil {
+					werr = binary.Write(w, binary.LittleEndian, float32(real(v)))
+				}
+				if werr == nil {
+					werr = binary.Write(w, binary.LittleEndian, float32(imag(v)))
+				}
 			}
-		}
-		for _, v := range buf {
-			if err := binary.Write(w, binary.LittleEndian, float32(real(v))); err != nil {
-				return err
-			}
-			if err := binary.Write(w, binary.LittleEndian, float32(imag(v))); err != nil {
-				return err
-			}
-		}
-		total += len(buf)
+			total += len(fr.RX)
+			return werr == nil
+		}),
+	}
+	if withTag {
+		mod := tag.NewModulator(tag.ModConfig{Params: cfg.Params})
+		mod.QueueBits(rng.New(seed + 1).Bits(make([]byte, subframes*12*mod.PerSymbolBits())))
+		sess.Direct = simlink.Identity
+		sess.Tags = []*simlink.Tag{{Mod: mod, Path: simlink.GainDB(-30)}}
+		sess.Link = channel.NewLink(rng.New(seed+2), 0) // noiseless combine, no draws
+	}
+	sess.Run(subframes)
+	if werr != nil {
+		return werr
 	}
 	if err := w.Flush(); err != nil {
 		return err

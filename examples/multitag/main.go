@@ -6,13 +6,12 @@ package main
 
 import (
 	"fmt"
-	"math"
 
-	"lscatter/internal/bits"
 	"lscatter/internal/channel"
 	"lscatter/internal/enodeb"
 	"lscatter/internal/ltephy"
 	"lscatter/internal/rng"
+	"lscatter/internal/simlink"
 	"lscatter/internal/tag"
 	"lscatter/internal/ue"
 )
@@ -27,83 +26,45 @@ func main() {
 		tag.NewModulator(tag.ModConfig{Params: p, ID: 2, TimingErrorUnits: -4, SampleOffset: 2}),
 	}
 	r := rng.New(7)
-	sent := make([][]byte, 2)
+	tags := make([]*simlink.Tag, len(mods))
 	for i, m := range mods {
-		sent[i] = r.Bits(make([]byte, 60*m.PerSymbolBits()))
-		m.QueueBits(sent[i])
+		m.QueueBits(r.Bits(make([]byte, 60*m.PerSymbolBits())))
+		tags[i] = &simlink.Tag{Mod: m, Path: simlink.GainDB(-68), Park: true}
 	}
 
-	lteRx := ue.NewLTEReceiver(p, cfg.Scheme)
 	scfg := ue.DefaultScatterConfig(p)
 	scfg.TagIDs = []int{1, 2}
-	sc := ue.NewScatterDemod(scfg)
 
 	fmt.Println("two tags, alternating 5 ms bursts, identified by preamble:")
-	errsByTag := map[int]int{}
-	bitsByTag := map[int]int{}
-	startSample := 0
-	for sfIdx := 0; sfIdx < 10; sfIdx++ {
-		sf := enb.NextSubframe()
-		owner := (sfIdx / 5) % 2
-		burst := sf.Index == 0 || sf.Index == 5
-		paths := [][]complex128{gain(sf.Samples, -40)}
-		var recs []tag.SymbolRecord
-		for i, m := range mods {
-			if i == owner {
-				var refl []complex128
-				refl, recs = m.ModulateSubframe(sf.Samples, sf.Index, burst)
-				paths = append(paths, gain(refl, -68))
-			} else {
-				paths = append(paths, gain(m.ParkedSubframe(sf.Samples), -68))
+	sink := &simlink.DemodSink{
+		LTE:            ue.NewLTEReceiver(p, cfg.Scheme),
+		Scatter:        ue.NewScatterDemod(scfg),
+		ResetEachBurst: true,
+		OnLTE: func(f *simlink.Frame, lte *ue.LTEResult, err error) {
+			if err != nil || !lte.OK {
+				fmt.Printf("  sf %d: LTE decode failed\n", f.N)
 			}
-		}
-		rx := channel.Combine(r, 0, paths...)
-		lte, err := lteRx.ReceiveSubframe(rx, sf.Index)
-		if err != nil || !lte.OK {
-			fmt.Printf("  sf %d: LTE decode failed\n", sfIdx)
-			startSample += len(rx)
-			continue
-		}
-		var res *ue.ScatterResult
-		if burst {
-			sc.Reset()
-			res = sc.AcquireBurst(rx, lte.RefSamples, sf.Index, startSample)
-			if res.Synced {
-				fmt.Printf("  sf %d: burst from tag %d (corr %.2f, offset %+d units)\n",
-					sfIdx, res.TagID, res.PreambleCorr, res.OffsetUnits)
-				d := sc.DemodSubframe(rx, lte.RefSamples, sf.Index, startSample, true)
-				res.Decisions = d.Decisions
-			}
-		} else {
-			res = sc.DemodSubframe(rx, lte.RefSamples, sf.Index, startSample, false)
-		}
-		startSample += len(rx)
-		byBits := map[int][]byte{}
-		for _, rec := range recs {
-			if rec.Bits != nil && !rec.IsPreamble {
-				byBits[rec.Symbol] = rec.Bits
-			}
-		}
-		for _, dec := range res.Decisions {
-			if want, ok := byBits[dec.Symbol]; ok {
-				errsByTag[owner+1] += bits.CountDiff(dec.Bits, want)
-				bitsByTag[owner+1] += len(want)
-			}
-		}
+		},
+		OnSync: func(f *simlink.Frame, res *ue.ScatterResult) {
+			fmt.Printf("  sf %d: burst from tag %d (corr %.2f, offset %+d units)\n",
+				f.N, res.TagID, res.PreambleCorr, res.OffsetUnits)
+		},
 	}
+	sess := &simlink.Session{
+		Source: enb,
+		Direct: simlink.GainDB(-40),
+		Tags:   tags,
+		Owner:  func(n int) int { return (n / 5) % 2 },
+		Link:   channel.NewLink(r, 0),
+		Sink:   sink,
+	}
+	sess.Run(10)
+
 	fmt.Println()
 	for id := 1; id <= 2; id++ {
-		fmt.Printf("tag %d: %d bits demodulated, %d errors\n", id, bitsByTag[id], errsByTag[id])
+		acct := sink.Account(id - 1)
+		fmt.Printf("tag %d: %d bits demodulated, %d errors\n", id, acct.Total, acct.Errs)
 	}
 	fmt.Println("\neach tag gets half the 13.68 Mbps raw rate — still thousands of")
 	fmt.Println("times a duty-cycled WiFi backscatter deployment")
-}
-
-func gain(x []complex128, db float64) []complex128 {
-	g := complex(math.Pow(10, db/20), 0)
-	out := make([]complex128, len(x))
-	for i, v := range x {
-		out[i] = v * g
-	}
-	return out
 }

@@ -13,6 +13,7 @@ import (
 	"lscatter/internal/enodeb"
 	"lscatter/internal/ltephy"
 	"lscatter/internal/rng"
+	"lscatter/internal/simlink"
 	"lscatter/internal/tag"
 	"lscatter/internal/ue"
 )
@@ -51,54 +52,43 @@ func main() {
 		channel.NewMultipath(r.Fork(4), channel.PedestrianProfile, sr))
 	occupied := float64(p.BW.Subcarriers()) * ltephy.SubcarrierSpacing
 	noise := channel.NoiseFloorW(occupied, 7) * sr / occupied
-	noiseRng := r.Fork(5)
 
-	// 4. The UE: direct-path LTE receiver + backscatter demodulator.
-	lteRx := ue.NewLTEReceiver(p, cfg.Scheme)
-	sc := ue.NewScatterDemod(ue.DefaultScatterConfig(p))
-
-	var rxBits []byte
-	startSample := 0
-	for sf := 0; sf < 4 && len(rxBits) < len(payload); sf++ {
-		dl := enb.NextSubframe()
-		burst := dl.Index == 0 || dl.Index == 5
-		reflected, _ := mod.ModulateSubframe(dl.Samples, dl.Index, burst)
-		rx := channel.Combine(noiseRng, noise,
-			direct.Apply(dl.Samples),
-			hop2.Apply(hop1.Apply(reflected)))
-
-		lte, err := lteRx.ReceiveSubframe(rx, dl.Index)
-		if err != nil || !lte.OK {
-			fmt.Printf("subframe %d: LTE decode failed, skipping\n", dl.Index)
-			startSample += len(rx)
-			continue
-		}
-		fmt.Printf("subframe %d: LTE transport block OK (%d bits, EVM %.1f%%)\n",
-			dl.Index, len(lte.Payload), 100*lte.EVM)
-
-		var res *ue.ScatterResult
-		if burst {
-			res = sc.AcquireBurst(rx, lte.RefSamples, dl.Index, startSample)
-			if res.Synced {
-				fmt.Printf("  preamble acquired: modulation offset %+d units, correlation %.2f\n",
-					res.OffsetUnits, res.PreambleCorr)
-				d := sc.DemodSubframe(rx, lte.RefSamples, dl.Index, startSample, true)
-				res.Decisions = d.Decisions
+	// 4. The UE sink: direct-path LTE receiver + backscatter demodulator,
+	//    collecting every demodulated bit and narrating the per-subframe
+	//    progress.
+	sink := &simlink.DemodSink{
+		LTE:         ue.NewLTEReceiver(p, cfg.Scheme),
+		Scatter:     ue.NewScatterDemod(ue.DefaultScatterConfig(p)),
+		CollectBits: true,
+		OnLTE: func(f *simlink.Frame, lte *ue.LTEResult, err error) {
+			if err != nil || !lte.OK {
+				fmt.Printf("subframe %d: LTE decode failed, skipping\n", f.Subframe.Index)
+				return
 			}
-		} else {
-			res = sc.DemodSubframe(rx, lte.RefSamples, dl.Index, startSample, false)
-		}
-		for _, dec := range res.Decisions {
-			rxBits = append(rxBits, dec.Bits...)
-		}
-		startSample += len(rx)
+			fmt.Printf("subframe %d: LTE transport block OK (%d bits, EVM %.1f%%)\n",
+				f.Subframe.Index, len(lte.Payload), 100*lte.EVM)
+		},
+		OnSync: func(_ *simlink.Frame, res *ue.ScatterResult) {
+			fmt.Printf("  preamble acquired: modulation offset %+d units, correlation %.2f\n",
+				res.OffsetUnits, res.PreambleCorr)
+		},
 	}
 
-	if len(rxBits) < len(payload) {
+	// 5. The session: the shared staged pipeline, run until the message is in.
+	sess := &simlink.Session{
+		Source: enb,
+		Direct: direct,
+		Tags:   []*simlink.Tag{{Mod: mod, Path: simlink.Chain(hop1, hop2)}},
+		Link:   channel.NewLink(r.Fork(5), noise),
+		Sink:   sink,
+	}
+	sess.RunUntil(4, func() bool { return len(sink.Bits) >= len(payload) })
+
+	if len(sink.Bits) < len(payload) {
 		fmt.Println("\nnot enough bits demodulated")
 		return
 	}
-	got, ok := bits.CheckCRC16(rxBits[:len(payload)])
+	got, ok := bits.CheckCRC16(sink.Bits[:len(payload)])
 	fmt.Printf("\nreceived %d bits, CRC ok: %v\n", len(payload), ok)
 	fmt.Printf("message: %q\n", string(bits.Pack(got)))
 	fmt.Printf("raw backscatter rate at this bandwidth: %.0f Kbps\n",

@@ -1,0 +1,68 @@
+package lscatter
+
+// Golden-stdout smoke tests for the runnable examples. Every example is a
+// deterministic program (fixed seeds, no wall-clock input), so its entire
+// stdout is a conformance surface: these tests build and run each one with
+// `go run` and compare the output byte-for-byte against the committed golden
+// transcript under testdata/examples/.
+//
+// To regenerate after an intentional output change:
+//
+//	go test -run TestExampleStdout -update .
+//
+// then review the transcript diffs like any other code change. Run via
+// `make examples-check` (part of `make ci`).
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// exampleDirs lists every runnable example; keep in sync with the `examples`
+// target in the Makefile.
+var exampleDirs = []string{
+	"quickstart",
+	"smarthome",
+	"continuousauth",
+	"spectrumsurvey",
+	"multitag",
+}
+
+// TestExampleStdout runs each example and pins its stdout.
+func TestExampleStdout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs every example binary")
+	}
+	for _, name := range exampleDirs {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			var out, stderr bytes.Buffer
+			cmd.Stdout = &out
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("go run ./examples/%s: %v\nstderr:\n%s", name, err, stderr.String())
+			}
+			golden := filepath.Join("testdata", "examples", name+".txt")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", golden, out.Len())
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden transcript (run `go test -run TestExampleStdout -update .` to create it): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("stdout drifted from %s\n--- got ---\n%s\n--- want ---\n%s\n(intentional? regenerate with -update and review the diff)",
+					golden, out.String(), want)
+			}
+		})
+	}
+}

@@ -23,9 +23,17 @@ import (
 	"lscatter/internal/ltephy"
 	"lscatter/internal/modem"
 	"lscatter/internal/rng"
+	"lscatter/internal/simlink"
 	"lscatter/internal/tag"
 	"lscatter/internal/ue"
 )
+
+// Auto is the sentinel requesting the documented default for the LinkConfig
+// fields where zero is itself a physically meaningful value (TxPowerDBm,
+// TagLossDB). DefaultLinkConfig never needs it — it fills every field — but
+// a hand-built LinkConfig can set `TxPowerDBm: core.Auto` to mean "the 10 dBm
+// USRP default" while `TxPowerDBm: 0` now honestly means 0 dBm.
+var Auto = math.NaN()
 
 // Mode selects the evaluation method.
 type Mode int
@@ -38,11 +46,20 @@ const (
 )
 
 // LinkConfig describes one LScatter deployment scenario.
+//
+// Defaulting rules: fields where a zero value is physically meaningless
+// (CarrierHz, PathLossExponent, NoiseFigureDB, TagSensitivityDBm, Subframes)
+// are filled with their documented defaults when left zero. TxPowerDBm and
+// TagLossDB are different — 0 dBm transmit power and a 0 dB (lossless) tag
+// are legitimate scenarios — so an explicit 0 is honored as 0 and the
+// default is requested with the Auto sentinel (NaN) instead. Start from
+// DefaultLinkConfig to get every default at once.
 type LinkConfig struct {
 	// BW is the LTE channel bandwidth.
 	BW ltephy.Bandwidth
 	// TxPowerDBm is the eNodeB transmit power (10 dBm USRP, 40 dBm with
-	// the RF5110 amplifier).
+	// the RF5110 amplifier). Zero means 0 dBm; set Auto for the 10 dBm
+	// default.
 	TxPowerDBm float64
 	// CarrierHz is the downlink carrier (680 MHz white space in the paper).
 	CarrierHz float64
@@ -54,7 +71,8 @@ type LinkConfig struct {
 	LoS bool
 	// Indoor selects the rich multipath profile for the exact chain.
 	Indoor bool
-	// TagLossDB is the tag reflection/conversion loss (default 6).
+	// TagLossDB is the tag reflection/conversion loss. Zero means a
+	// lossless reflection; set Auto for the measured 4 dB default.
 	TagLossDB float64
 	// NoiseFigureDB is the UE receiver noise figure (default 7).
 	NoiseFigureDB float64
@@ -152,21 +170,31 @@ func Run(cfg LinkConfig) LinkReport {
 	return runSemiAnalytic(cfg)
 }
 
-// Samples evaluates n independent fading realizations of a semi-analytic
-// configuration, returning per-realization throughputs (the paper's box
-// plots are distributions over exactly such realizations).
+// Samples evaluates n independent realizations of a link configuration,
+// returning per-realization throughputs (the paper's box plots are
+// distributions over exactly such realizations). The configured Mode is
+// honored: SemiAnalytic draws Monte-Carlo fading realizations in closed
+// form; Exact runs the bit-true pipeline once per realization, each with an
+// independently derived seed.
 func Samples(cfg LinkConfig, n int) []float64 {
 	applyDefaults(&cfg)
 	out := make([]float64, n)
 	for i := range out {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)*7919
-		r := runSemiAnalytic(c)
+		var r LinkReport
+		if cfg.Mode == Exact {
+			r = runExact(c)
+		} else {
+			r = runSemiAnalytic(c)
+		}
 		out[i] = r.ThroughputBps
 	}
 	return out
 }
 
+// applyDefaults fills unset fields (see the LinkConfig doc for which zero
+// values count as "unset" and which are honored literally).
 func applyDefaults(cfg *LinkConfig) {
 	if cfg.CarrierHz == 0 {
 		cfg.CarrierHz = 680e6
@@ -174,7 +202,7 @@ func applyDefaults(cfg *LinkConfig) {
 	if cfg.PathLossExponent == 0 {
 		cfg.PathLossExponent = 2.2
 	}
-	if cfg.TagLossDB == 0 {
+	if math.IsNaN(cfg.TagLossDB) {
 		cfg.TagLossDB = 4
 	}
 	if cfg.NoiseFigureDB == 0 {
@@ -186,7 +214,7 @@ func applyDefaults(cfg *LinkConfig) {
 	if cfg.Subframes == 0 {
 		cfg.Subframes = 5
 	}
-	if cfg.TxPowerDBm == 0 {
+	if math.IsNaN(cfg.TxPowerDBm) {
 		cfg.TxPowerDBm = 10
 	}
 }
@@ -281,7 +309,11 @@ func fadePower(r *rng.Source, los bool) float64 {
 	return re*re + im*im
 }
 
-// runExact runs the bit-true chain.
+// runExact evaluates the bit-true chain: it translates the LinkConfig's
+// geometry and link budget into simlink pipeline stages and runs a Session
+// for the configured number of subframes. The stage wiring — RNG stream
+// labels, path order, the stream-position hold on LTE receiver errors — is
+// pinned by the golden end-to-end vectors (testdata/golden_e2e.json).
 func runExact(cfg LinkConfig) LinkReport {
 	r := rng.New(cfg.Seed)
 	p := ltephy.DefaultParams(cfg.BW)
@@ -336,10 +368,9 @@ func runExact(cfg LinkConfig) LinkReport {
 	// All of it is absent — not merely inert — when Impair is nil/off, so
 	// the clean path stays byte-identical.
 	var (
-		tagJitter  *impair.TimingJitter
-		rxPipe     *impair.Pipeline
-		tracker    *ue.CFOTracker
-		baseTiming = mod.TimingError()
+		tagJitter *impair.TimingJitter
+		rxPipe    *impair.Pipeline
+		tracker   *ue.CFOTracker
 	)
 	if cfg.Impair != nil && cfg.Impair.Active() {
 		ic := *cfg.Impair
@@ -353,89 +384,36 @@ func runExact(cfg LinkConfig) LinkReport {
 		rxPipe = impair.NewFor(ic, impair.SFO, impair.CFO, impair.Interference, impair.ADC)
 		tracker = ue.NewCFOTracker(p, 0, ue.CFOTrackerConfig{})
 	}
-	link := channel.NewLink(noiseRng, noisePerSample, channel.WithImpairment(rxPipe))
 
-	errs, total := 0, 0
-	lteOK := 0
-	startSample := 0
-	for sfIdx := 0; sfIdx < cfg.Subframes; sfIdx++ {
-		sf := enb.NextSubframe()
-		burst := sf.Index == 0 || sf.Index == 5
-		mod.QueueBits(payload.Bits(make([]byte, 12*mod.PerSymbolBits())))
-		if tagJitter != nil && burst {
-			// The tag re-synchronizes on each burst-opening PSS, so its
-			// residual timing error re-draws per burst and holds across the
-			// burst's subframes — which is also what the UE's per-burst
-			// offset acquisition can absorb.
-			mod.SetTimingError(baseTiming + tagJitter.Next())
-		}
-		reflected, recs := mod.ModulateSubframe(sf.Samples, sf.Index, burst)
-		tagIn := hop1.Apply(reflected)
-		rx := link.Receive(directHop.Apply(sf.Samples), hop2.Apply(tagIn))
-		if tracker != nil {
-			var reacq bool
-			rx, reacq = tracker.Process(rx, startSample)
-			if reacq {
-				// Lost lock: decision-feedback state (burst sync, channel
-				// estimate) predates the frequency snap — drop it and let
-				// the next burst re-acquire.
-				sc.Reset()
-			}
-		}
-
-		lte, err := lteRx.ReceiveSubframe(rx, sf.Index)
-		if err != nil {
-			continue
-		}
-		if lte.OK {
-			lteOK++
-		}
-		var res *ue.ScatterResult
-		if lte.OK {
-			if burst {
-				res = sc.AcquireBurst(rx, lte.RefSamples, sf.Index, startSample)
-				if res.Synced {
-					d := sc.DemodSubframe(rx, lte.RefSamples, sf.Index, startSample, true)
-					res.Decisions = d.Decisions
-					rep.Synced = true
-				}
-			} else {
-				res = sc.DemodSubframe(rx, lte.RefSamples, sf.Index, startSample, false)
-			}
-		}
-		startSample += len(sf.Samples)
-		if res == nil {
-			continue
-		}
-		byBits := map[int][]byte{}
-		for _, rec := range recs {
-			if rec.Bits != nil && !rec.IsPreamble {
-				byBits[rec.Symbol] = rec.Bits
-			}
-		}
-		for _, dec := range res.Decisions {
-			want, ok := byBits[dec.Symbol]
-			if !ok || len(want) != len(dec.Bits) {
-				continue
-			}
-			for i := range want {
-				if want[i] != dec.Bits[i] {
-					errs++
-				}
-				total++
-			}
-		}
+	sink := &simlink.DemodSink{LTE: lteRx, Scatter: sc, HoldOnLTEError: true}
+	sess := &simlink.Session{
+		Source: enb,
+		Direct: directHop,
+		Tags: []*simlink.Tag{{
+			Mod:  mod,
+			Path: simlink.Chain(hop1, hop2),
+			Feed: func(int, *tag.Modulator) {
+				mod.QueueBits(payload.Bits(make([]byte, 12*mod.PerSymbolBits())))
+			},
+			Jitter: tagJitter,
+		}},
+		Link:    channel.NewLink(noiseRng, noisePerSample, channel.WithImpairment(rxPipe)),
+		Tracker: tracker,
+		Sink:    sink,
 	}
-	rep.LTEOK = lteOK > cfg.Subframes/2
-	rep.BitsCompared = total
+	sess.Run(cfg.Subframes)
+
+	acct := sink.Totals()
+	rep.Synced = sink.Synced
+	rep.LTEOK = sink.LTEOK > cfg.Subframes/2
+	rep.BitsCompared = acct.Total
 	if tracker != nil {
 		rep.Reacquisitions = tracker.Reacquisitions()
 	}
-	if total == 0 {
-		rep.BER = 0.5
+	rep.BER = acct.BER()
+	if acct.Total == 0 {
 		return rep
 	}
-	rep.BER = float64(errs) / float64(total)
 	rep.ThroughputBps = rep.RawRateBps * (1 - rep.BER)
 	if !rep.Synced {
 		rep.ThroughputBps = 0

@@ -172,6 +172,60 @@ func TestSamplesDistribution(t *testing.T) {
 	}
 }
 
+func TestSamplesExactMode(t *testing.T) {
+	// Samples must honor Mode: each Exact realization is the bit-true chain
+	// at the derived per-realization seed, reproducible via Run.
+	cfg := DefaultLinkConfig(ltephy.BW1_4)
+	cfg.Mode = Exact
+	cfg.Subframes = 2
+	xs := Samples(cfg, 2)
+	if len(xs) != 2 {
+		t.Fatalf("%d samples", len(xs))
+	}
+	for i, x := range xs {
+		want := cfg
+		want.Seed = cfg.Seed + uint64(i)*7919
+		if rep := Run(want); rep.ThroughputBps != x {
+			t.Fatalf("realization %d = %v, want the exact chain's %v", i, x, rep.ThroughputBps)
+		}
+	}
+}
+
+func TestApplyDefaultsSentinels(t *testing.T) {
+	// Auto requests the documented defaults...
+	cfg := LinkConfig{TxPowerDBm: Auto, TagLossDB: Auto}
+	applyDefaults(&cfg)
+	if cfg.TxPowerDBm != 10 {
+		t.Fatalf("Auto TxPowerDBm defaulted to %v, want 10", cfg.TxPowerDBm)
+	}
+	if cfg.TagLossDB != 4 {
+		t.Fatalf("Auto TagLossDB defaulted to %v, want 4", cfg.TagLossDB)
+	}
+	// ...while explicit zeros are honored literally: 0 dBm transmit power
+	// and a lossless tag are valid configurations, not requests for the
+	// defaults.
+	cfg = LinkConfig{}
+	applyDefaults(&cfg)
+	if cfg.TxPowerDBm != 0 {
+		t.Fatalf("explicit TxPowerDBm 0 became %v", cfg.TxPowerDBm)
+	}
+	if cfg.TagLossDB != 0 {
+		t.Fatalf("explicit TagLossDB 0 became %v", cfg.TagLossDB)
+	}
+	// An explicit 0 dBm link must actually run 10 dB weaker than the
+	// default, not silently get promoted back to 10 dBm.
+	lo := DefaultLinkConfig(ltephy.BW20)
+	lo.TxPowerDBm = 0
+	lo.TagToUEM = channel.FeetToMeters(200)
+	lo.ENodeBToUEM = channel.FeetToMeters(203)
+	hi := lo
+	hi.TxPowerDBm = Auto
+	if l, h := Run(lo), Run(hi); l.ThroughputBps >= h.ThroughputBps {
+		t.Fatalf("0 dBm link (%v bps) not weaker than the 10 dBm default (%v bps)",
+			l.ThroughputBps, h.ThroughputBps)
+	}
+}
+
 func TestExactModeCloseRange(t *testing.T) {
 	cfg := DefaultLinkConfig(ltephy.BW1_4)
 	cfg.Mode = Exact

@@ -8,6 +8,7 @@ import (
 	"lscatter/internal/ltephy"
 	"lscatter/internal/rng"
 	"lscatter/internal/scatterframe"
+	"lscatter/internal/simlink"
 	"lscatter/internal/tag"
 	"lscatter/internal/ue"
 )
@@ -50,65 +51,19 @@ func chainBER(bw ltephy.Bandwidth, oversample int, mode tag.Mode, refineIters in
 	const scatterGainDB = -70
 	scatP := 0.01 * channelFromDB(scatterGainDB)
 	noiseW := scatP * channelFromDB(noiseRelDB)
-	noiseRng := r.Fork(1)
-	errs, total := 0, 0
-	startSample := 0
-	for i := 0; i < subframes; i++ {
-		sf := enb.NextSubframe()
-		burst := sf.Index == 0 || sf.Index == 5
-		reflected, recs := mod.ModulateSubframe(sf.Samples, sf.Index, burst)
-		rx := channel.Combine(noiseRng, noiseW,
-			gained(sf.Samples, directGainDB), gained(reflected, scatterGainDB))
-		lte, err := lteRx.ReceiveSubframe(rx, sf.Index)
-		if err != nil || !lte.OK {
-			startSample += len(rx)
-			continue
-		}
-		var res *ue.ScatterResult
-		if burst {
-			res = sc.AcquireBurst(rx, lte.RefSamples, sf.Index, startSample)
-			if res.Synced {
-				synced = true
-				d := sc.DemodSubframe(rx, lte.RefSamples, sf.Index, startSample, true)
-				res.Decisions = d.Decisions
-			}
-		} else {
-			res = sc.DemodSubframe(rx, lte.RefSamples, sf.Index, startSample, false)
-		}
-		startSample += len(rx)
-		byBits := map[int][]byte{}
-		for _, rec := range recs {
-			if rec.Bits != nil && !rec.IsPreamble {
-				byBits[rec.Symbol] = rec.Bits
-			}
-		}
-		for _, dec := range res.Decisions {
-			if want, ok := byBits[dec.Symbol]; ok && len(want) == len(dec.Bits) {
-				for k := range want {
-					if want[k] != dec.Bits[k] {
-						errs++
-					}
-					total++
-				}
-			}
-		}
+	sink := &simlink.DemodSink{LTE: lteRx, Scatter: sc}
+	sess := &simlink.Session{
+		Source: enb,
+		Direct: simlink.GainDB(directGainDB),
+		Tags:   []*simlink.Tag{{Mod: mod, Path: simlink.GainDB(scatterGainDB)}},
+		Link:   channel.NewLink(r.Fork(1), noiseW),
+		Sink:   sink,
 	}
-	if total == 0 {
-		return 0.5, synced
-	}
-	return float64(errs) / float64(total), synced
+	sess.Run(subframes)
+	return sink.Totals().BER(), sink.Synced
 }
 
 func channelFromDB(db float64) float64 { return channel.DBmToWatts(db + 30) }
-
-func gained(x []complex128, db float64) []complex128 {
-	g := complex(channel.DBmToWatts(db/2+30), 0) // amplitude = 10^(db/20)
-	out := make([]complex128, len(x))
-	for i, v := range x {
-		out[i] = v * g
-	}
-	return out
-}
 
 // chainErrorPattern runs the bit-true chain and returns the per-bit error
 // indicators in transmit order (true = flipped). The error process does not
@@ -125,46 +80,16 @@ func chainErrorPattern(bw ltephy.Bandwidth, noiseRelDB float64, subframes int, s
 	sc := ue.NewScatterDemod(ue.DefaultScatterConfig(p))
 	scatP := 0.01 * channelFromDB(-70)
 	noiseW := scatP * channelFromDB(noiseRelDB)
-	noiseRng := r.Fork(1)
-	var pattern []bool
-	startSample := 0
-	for i := 0; i < subframes; i++ {
-		sf := enb.NextSubframe()
-		burst := sf.Index == 0 || sf.Index == 5
-		reflected, recs := mod.ModulateSubframe(sf.Samples, sf.Index, burst)
-		rx := channel.Combine(noiseRng, noiseW,
-			gained(sf.Samples, -40), gained(reflected, -70))
-		lte, err := lteRx.ReceiveSubframe(rx, sf.Index)
-		if err != nil || !lte.OK {
-			startSample += len(rx)
-			continue
-		}
-		var res *ue.ScatterResult
-		if burst {
-			res = sc.AcquireBurst(rx, lte.RefSamples, sf.Index, startSample)
-			if res.Synced {
-				d := sc.DemodSubframe(rx, lte.RefSamples, sf.Index, startSample, true)
-				res.Decisions = d.Decisions
-			}
-		} else {
-			res = sc.DemodSubframe(rx, lte.RefSamples, sf.Index, startSample, false)
-		}
-		startSample += len(rx)
-		byBits := map[int][]byte{}
-		for _, rec := range recs {
-			if rec.Bits != nil && !rec.IsPreamble {
-				byBits[rec.Symbol] = rec.Bits
-			}
-		}
-		for _, dec := range res.Decisions {
-			if want, ok := byBits[dec.Symbol]; ok && len(want) == len(dec.Bits) {
-				for k := range want {
-					pattern = append(pattern, want[k] != dec.Bits[k])
-				}
-			}
-		}
+	sink := &simlink.DemodSink{LTE: lteRx, Scatter: sc, RecordPattern: true}
+	sess := &simlink.Session{
+		Source: enb,
+		Direct: simlink.GainDB(-40),
+		Tags:   []*simlink.Tag{{Mod: mod, Path: simlink.GainDB(-70)}},
+		Link:   channel.NewLink(r.Fork(1), noiseW),
+		Sink:   sink,
 	}
-	return pattern
+	sess.Run(subframes)
+	return sink.Pattern
 }
 
 // AblationCoding compares uncoded 240-bit frames against rate-1/2 coded
@@ -314,9 +239,12 @@ func AblationPSSBoost(seed uint64) *Result {
 		enb := enodeb.New(cfg)
 		sc := tag.NewSyncCircuit(cfg.Params, tag.SyncConfig{})
 		dets := 0
-		for i := 0; i < 200; i++ { // 200 ms = 40 PSS occurrences
-			dets += len(sc.Process(enb.NextSubframe().Samples))
-		}
+		// Tag-side monitor: no Link, so the frame aliases the raw downlink.
+		sess := &simlink.Session{Source: enb, Sink: simlink.SinkFunc(func(f *simlink.Frame) bool {
+			dets += len(sc.Process(f.RX))
+			return true
+		})}
+		sess.Run(200) // 200 ms = 40 PSS occurrences
 		// With the 10 ms warmup ~38 detectable PSS remain.
 		extra := 0
 		if dets > 38 {

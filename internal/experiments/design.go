@@ -8,6 +8,7 @@ import (
 	"lscatter/internal/enodeb"
 	"lscatter/internal/ltephy"
 	"lscatter/internal/rng"
+	"lscatter/internal/simlink"
 	"lscatter/internal/stats"
 	"lscatter/internal/tag"
 )
@@ -25,14 +26,15 @@ func Fig8SyncCircuit(seed uint64) *Result {
 	cfg.Seed = seed
 	e := enodeb.New(cfg)
 	sc := tag.NewSyncCircuit(cfg.Params, tag.SyncConfig{Trace: true})
+	// Tag-side monitor session: no Link, the frame aliases the raw downlink.
+	sess := &simlink.Session{Source: e, Sink: simlink.SinkFunc(func(f *simlink.Frame) bool {
+		sc.Process(f.RX)
+		return true
+	})}
 	// Warm the averaging network, then record 20 ms.
-	for i := 0; i < 12; i++ {
-		sc.Process(e.NextSubframe().Samples)
-	}
+	sess.Run(12)
 	pre := len(sc.Trace().Envelope)
-	for i := 0; i < 20; i++ {
-		sc.Process(e.NextSubframe().Samples)
-	}
+	sess.Run(20)
 	tr := sc.Trace()
 	res := &Result{
 		ID:     "F8",
@@ -126,32 +128,45 @@ func Fig31SyncAccuracy(seed uint64) *Result {
 	groupDelay := sc.NominalDelay() - 7e-6 - 12e-6 // filters only
 	const nSubframes = 400
 	fade := 1.0
+	// The slow block fade is a PathStage on the direct path: a new mild fade
+	// per PSS period (±~1.5 dB) — enough to walk the comparator crossing
+	// along the envelope ramp without losing detections. AWGN rides on the
+	// Link, drawing from the same stream right after each fade draw, so the
+	// per-subframe draw order matches the original hand-rolled loop.
+	fadeStage := simlink.PathFunc(func(x []complex128) []complex128 {
+		out := make([]complex128, len(x))
+		for j, v := range x {
+			out[j] = v * complex(fade, 0)
+		}
+		return out
+	})
+	sess := &simlink.Session{
+		Source: e,
+		Direct: fadeStage,
+		Link:   channel.NewLink(r, noiseW),
+		Sink: simlink.SinkFunc(func(f *simlink.Frame) bool {
+			for _, d := range sc.Process(f.RX) {
+				// Reference: the LTE receiver's PSS timing (start of the PSS
+				// symbol it reports), with filter group delay excluded — the
+				// residual is the circuit's crossing latency + jitter. Match to
+				// the nearest PSS; detections further than half a period from
+				// any PSS are misses, not timing errors.
+				off := float64(ltephy.UsefulStart(cfg.Params, ltephy.PSSSymbolIndex)) / cfg.Params.SampleRate()
+				est := d.Time - groupDelay
+				k := math.Round((est - off) / ltephy.PSSPeriod)
+				e := est - (k*ltephy.PSSPeriod + off)
+				if math.Abs(e) < ltephy.PSSPeriod/4 {
+					errsUs = append(errsUs, e*1e6)
+				}
+			}
+			return true
+		}),
+	}
 	for i := 0; i < nSubframes; i++ {
 		if i%5 == 0 {
-			// New mild fade per PSS period (±~1.5 dB): enough to walk the
-			// comparator crossing along the ramp without losing detections.
 			fade = 0.85 + 0.32*r.Float64()
 		}
-		sf := e.NextSubframe()
-		buf := append([]complex128(nil), sf.Samples...)
-		for j := range buf {
-			buf[j] *= complex(fade, 0)
-		}
-		channel.AWGN(r, buf, noiseW)
-		for _, d := range sc.Process(buf) {
-			// Reference: the LTE receiver's PSS timing (start of the PSS
-			// symbol it reports), with filter group delay excluded — the
-			// residual is the circuit's crossing latency + jitter. Match to
-			// the nearest PSS; detections further than half a period from
-			// any PSS are misses, not timing errors.
-			off := float64(ltephy.UsefulStart(cfg.Params, ltephy.PSSSymbolIndex)) / cfg.Params.SampleRate()
-			est := d.Time - groupDelay
-			k := math.Round((est - off) / ltephy.PSSPeriod)
-			e := est - (k*ltephy.PSSPeriod + off)
-			if math.Abs(e) < ltephy.PSSPeriod/4 {
-				errsUs = append(errsUs, e*1e6)
-			}
-		}
+		sess.Step()
 	}
 	res := &Result{
 		ID:     "F31",

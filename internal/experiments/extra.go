@@ -10,6 +10,7 @@ import (
 	"lscatter/internal/enodeb"
 	"lscatter/internal/ltephy"
 	"lscatter/internal/rng"
+	"lscatter/internal/simlink"
 	"lscatter/internal/tag"
 )
 
@@ -100,13 +101,18 @@ func InterferencePSD(seed uint64) *Result {
 	mod := tag.NewModulator(tag.ModConfig{Params: p, ReflectionLossDB: 0})
 	r := rng.New(seed + 3)
 	mod.QueueBits(r.Bits(make([]byte, 24*mod.PerSymbolBits())))
+	// Taps-only session: no Link or Sink, just the ambient and raw-reflection
+	// waveform taps accumulated over two subframes.
 	var ambient, hybrid []complex128
-	for i := 0; i < 2; i++ {
-		sf := enb.NextSubframe()
-		refl, _ := mod.ModulateSubframe(sf.Samples, sf.Index, sf.Index == 0)
-		ambient = append(ambient, sf.Samples...)
-		hybrid = append(hybrid, refl...)
+	sess := &simlink.Session{
+		Source: enb,
+		Tags:   []*simlink.Tag{{Mod: mod}},
+		Taps: simlink.Taps{
+			Ambient:   func(_ *simlink.Frame, x []complex128) { ambient = append(ambient, x...) },
+			Reflected: func(_ *simlink.Frame, _ int, x []complex128) { hybrid = append(hybrid, x...) },
+		},
 	}
+	sess.Run(2)
 	// Band powers via FFT over the whole capture.
 	n := len(hybrid)
 	plan := dsp.PlanFor(n)

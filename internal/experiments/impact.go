@@ -10,6 +10,7 @@ import (
 	"lscatter/internal/modem"
 	"lscatter/internal/power"
 	"lscatter/internal/rng"
+	"lscatter/internal/simlink"
 	"lscatter/internal/stats"
 	"lscatter/internal/tag"
 	"lscatter/internal/ue"
@@ -34,33 +35,31 @@ func lteImpactSamples(bw ltephy.Bandwidth, withTag bool, subframes int, seed uin
 		channel.NewMultipath(r.Fork(2), channel.PedestrianProfile, sr))
 	hop1 := channel.NewHop(r.Fork(3), pl, channel.FeetToMeters(3), 8, 0, nil)
 	hop2 := channel.NewHop(r.Fork(4), pl, channel.FeetToMeters(3), 4, 0, nil)
-	var mod *tag.Modulator
-	if withTag {
-		mod = tag.NewModulator(tag.ModConfig{Params: p, ReflectionLossDB: 4})
-	}
-	lteRx := ue.NewLTEReceiver(p, modem.QAM64)
 	occupied := float64(bw.Subcarriers()) * ltephy.SubcarrierSpacing
 	noisePerSample := channel.NoiseFloorW(occupied, 7) * sr / occupied
 	noiseRng := r.Fork(5)
 	payload := r.Fork(6)
-	var out []float64
-	for i := 0; i < subframes; i++ {
-		sf := enb.NextSubframe()
-		paths := [][]complex128{direct.Apply(sf.Samples)}
-		if mod != nil {
-			mod.QueueBits(payload.Bits(make([]byte, 12*mod.PerSymbolBits())))
-			reflected, _ := mod.ModulateSubframe(sf.Samples, sf.Index, sf.Index == 0 || sf.Index == 5)
-			paths = append(paths, hop2.Apply(hop1.Apply(reflected)))
-		}
-		rx := channel.Combine(noiseRng, noisePerSample, paths...)
-		res, err := lteRx.ReceiveSubframe(rx, sf.Index)
-		bitsOK := 0.0
-		if err == nil && res.OK {
-			bitsOK = float64(len(res.Payload))
-		}
-		out = append(out, bitsOK/ltephy.SubframeDuration)
+	var tags []*simlink.Tag
+	if withTag {
+		mod := tag.NewModulator(tag.ModConfig{Params: p, ReflectionLossDB: 4})
+		tags = append(tags, &simlink.Tag{
+			Mod:  mod,
+			Path: simlink.Chain(hop1, hop2),
+			Feed: func(int, *tag.Modulator) {
+				mod.QueueBits(payload.Bits(make([]byte, 12*mod.PerSymbolBits())))
+			},
+		})
 	}
-	return out
+	sink := &simlink.LTESink{LTE: ue.NewLTEReceiver(p, modem.QAM64)}
+	sess := &simlink.Session{
+		Source: enb,
+		Direct: direct,
+		Tags:   tags,
+		Link:   channel.NewLink(noiseRng, noisePerSample),
+		Sink:   sink,
+	}
+	sess.Run(subframes)
+	return sink.PerSubframe
 }
 
 // Fig32LTEImpact regenerates Fig 32: the CDF of LTE's own throughput with

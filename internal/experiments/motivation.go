@@ -6,6 +6,7 @@ import (
 	"lscatter/internal/dsp"
 	"lscatter/internal/enodeb"
 	"lscatter/internal/ltephy"
+	"lscatter/internal/simlink"
 	"lscatter/internal/stats"
 	"lscatter/internal/traffic"
 )
@@ -118,10 +119,13 @@ func Fig4bLTESpectrogram(seed uint64) *Result {
 	cfg.Seed = seed
 	cfg.Params.Oversample = 2
 	e := enodeb.New(cfg)
+	// Link-less monitor session: each frame aliases the raw downlink.
 	var x []complex128
-	for i := 0; i < 20; i++ { // 20 ms
-		x = append(x, e.NextSubframe().Samples...)
-	}
+	sess := &simlink.Session{Source: e, Sink: simlink.SinkFunc(func(f *simlink.Frame) bool {
+		x = append(x, f.RX...)
+		return true
+	})}
+	sess.Run(20) // 20 ms
 	fs := cfg.Params.SampleRate()
 	spec := traffic.Spectrogram(x, fs)
 	occ := traffic.MeasuredOccupancy(x, fs)

@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench bench-compare figures examples examples-check cover clean
+.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench bench-compare rtf rtf-check figures examples examples-check cover clean
 
 all: vet test
 
 # The full gate a PR must pass: vet, the suite under the race detector, the
-# doc-comment check and the example-stdout goldens. Run it before pushing.
-ci: vet race docs-check examples-check
+# doc-comment check, the example-stdout goldens and the real-time-factor
+# regression gate. Run it before pushing.
+ci: vet race docs-check examples-check rtf-check
 
 test:
 	$(GO) test ./...
@@ -35,6 +36,7 @@ fuzz-smoke:
 	$(GO) test ./internal/scatterframe -run='^$$' -fuzz=FuzzDecode$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/scatterframe -run='^$$' -fuzz=FuzzDecodeSoft -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/dsp -run='^$$' -fuzz=FuzzCorrelatorEquivalence -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/fxp -run='^$$' -fuzz=FuzzFxpRoundTrip -fuzztime=$(FUZZTIME)
 
 # Regenerate the golden conformance vectors (testdata/*.json) after an
 # intentional waveform or RNG change; review the diff like code.
@@ -61,6 +63,19 @@ OLD ?= BENCH_R1.json
 NEW ?= BENCH_R2.json
 bench-compare:
 	sh tools/benchdiff.sh $(OLD) $(NEW)
+
+# Print the transport real-time factor at 20 MHz (fixed-point streamer
+# headline plus both full-Session lanes); see docs/PERFORMANCE.md.
+rtf:
+	$(GO) run ./cmd/lscatter-bench -rtf
+
+# Fail when the streamer RTF regresses more than 10% against the recorded
+# baseline in BENCH_R2.json (override RTF_BASELINE to gate against another
+# report). The absolute 10x target is advisory here because CI hardware
+# differs; enforce it with `go run ./tools/rtfcheck -require-target`.
+RTF_BASELINE ?= BENCH_R2.json
+rtf-check:
+	$(GO) run ./tools/rtfcheck $(RTF_BASELINE)
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -7,12 +7,20 @@
 //	lscatter-bench -id F23 [-seed 7]
 //	lscatter-bench -all [-parallel 8] [-metrics out.json]
 //	lscatter-bench -impair [-seed 7] [-metrics out.json]
+//	lscatter-bench -rtf [-rtf-subframes 2000] [-metrics out.json]
 //
 // With -all, artifacts run on a worker pool (-parallel N; 0 selects NumCPU,
 // 1 — the default — is sequential). The output is deterministic: each
 // artifact's seed derives from -seed and its ID, so any worker count prints
 // identical tables. -metrics writes a JSON report of per-artifact wall time,
 // allocations and waveform-cache hit rate; see docs/BENCHMARKS.md.
+//
+// -rtf measures the real-time factor of the transport pipeline at 20 MHz on
+// one goroutine (fixed-point streamer headline plus both full-Session lanes)
+// and prints the result; it composes with -all and -metrics, in which case
+// the measurement lands in the report's "rtf" object. The methodology and
+// the recorded targets live in docs/PERFORMANCE.md; `make rtf-check` gates
+// regressions against BENCH_R2.json.
 //
 // -impair is shorthand for the link-resilience sweep (-id R1): the exact
 // chain run through the off/mild/moderate/severe fault-injection ladder,
@@ -53,8 +61,18 @@ func main() {
 		parallel = flag.Int("parallel", 1, "worker count for -all (0 = NumCPU, 1 = sequential)")
 		metrics  = flag.String("metrics", "", "write a JSON metrics report to this file")
 		impaired = flag.Bool("impair", false, "run the link-resilience sweep (shorthand for -id R1)")
+		rtf      = flag.Bool("rtf", false, "measure the transport real-time factor at 20 MHz")
+		rtfSF    = flag.Int("rtf-subframes", 0, "timed subframes for -rtf (0 = default 2000)")
 	)
 	flag.Parse()
+
+	// runRTF performs the real-time-factor measurement (after any artifact
+	// regeneration, so the timed loop runs on a quiet process).
+	runRTF := func() *experiments.RTFReport {
+		rep := experiments.RunRTF(experiments.RTFConfig{Subframes: *rtfSF, Seed: *seed})
+		fmt.Println(rep.Render())
+		return rep
+	}
 
 	if *impaired {
 		if *id != "" && *id != "R1" {
@@ -78,8 +96,13 @@ func main() {
 		for _, res := range results {
 			fmt.Println(res.Render())
 		}
+		var rtfRep *experiments.RTFReport
+		if *rtf {
+			rtfRep = runRTF()
+		}
 		if *metrics != "" {
 			rep := experiments.BuildReport(*seed, *parallel, wall, results)
+			rep.RTF = rtfRep
 			if err := writeMetrics(*metrics, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
 				os.Exit(1)
@@ -95,6 +118,17 @@ func main() {
 		fmt.Println(res.Render())
 		if *metrics != "" {
 			rep := experiments.BuildReport(*seed, 1, time.Since(start), []*experiments.Result{res})
+			if err := writeMetrics(*metrics, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	case *rtf:
+		start := time.Now()
+		rep := experiments.BuildReport(*seed, 1, 0, nil)
+		rep.RTF = runRTF()
+		rep.WallSeconds = time.Since(start).Seconds()
+		if *metrics != "" {
 			if err := writeMetrics(*metrics, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
 				os.Exit(1)

@@ -14,13 +14,17 @@
 //   - internal/experiments — per-figure reproduction runners, the
 //     deterministic worker pool (RunAll) and per-run metrics
 //   - examples/ — runnable demonstrations
-//   - docs/ — ARCHITECTURE.md (signal path, cache, pool) and BENCHMARKS.md
-//     (how to measure, recorded baselines)
+//   - docs/ — ARCHITECTURE.md (signal path, cache, pool), BENCHMARKS.md
+//     (how to measure, recorded baselines) and PERFORMANCE.md (real-time
+//     factor, fixed-point error budget, lane selection)
 //
 // Regeneration is deterministic: per-artifact seeds derive from the master
 // seed, so `lscatter-bench -all` prints byte-identical tables at any
-// -parallel worker count. The root-level benchmarks in bench_test.go
-// regenerate each paper artifact:
+// -parallel worker count. The general waveform chain runs slower than real
+// time; the fixed-point transport streamer (internal/simlink, internal/fxp)
+// synthesizes the received 20 MHz waveform at 14x real time on one core —
+// `lscatter-bench -rtf` measures it. The root-level benchmarks in
+// bench_test.go regenerate each paper artifact:
 //
 //	go test -bench=Fig -benchmem .
 package lscatter

@@ -1,0 +1,201 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"lscatter/internal/fxp"
+	"lscatter/internal/rng"
+)
+
+// This file is the channel package's fixed-point lane: every stage keeps
+// its complex128 Apply as the conformance reference and gains an ApplyFxp
+// counterpart operating on block-scaled Q1.15 buffers. The lanes draw from
+// the same RNG streams in the same order, so a fixed-point session consumes
+// byte-identical randomness to its float twin and the two stay directly
+// comparable sample for sample (docs/PERFORMANCE.md derives the error
+// budget).
+
+// ApplyFxp propagates a Q1.15 block through the hop. The scalar gain and
+// the hop's carrier phase fold into one complex rotation (magnitude into
+// the block scale — free; the unit phasor per sample); fading convolves in
+// integer arithmetic.
+func (h *Hop) ApplyFxp(x *fxp.Buf) *fxp.Buf {
+	out := fxp.New(x.Len())
+	out.CopyFrom(x)
+	g := math.Pow(10, h.PowerGainDB()/20)
+	out.Rotate(complex(g, 0) * h.phase)
+	if h.Fading != nil {
+		out = h.Fading.ApplyFxp(out)
+	}
+	return out
+}
+
+// ApplyFxp convolves a Q1.15 block with the channel impulse response. Taps
+// are quantized to Q1.15 under a per-filter power-of-two scale; the
+// accumulation runs in 64-bit integers with one explicit headroom bit, so
+// a unit-energy profile cannot saturate mid-sum.
+func (m *Multipath) ApplyFxp(x *fxp.Buf) *fxp.Buf {
+	// Quantize the taps at the filter's own block scale.
+	maxAbs := 0.0
+	for _, t := range m.taps {
+		if a := math.Abs(real(t)); a > maxAbs {
+			maxAbs = a
+		}
+		if a := math.Abs(imag(t)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	tapScale := 1.0
+	if maxAbs > 0 {
+		tapScale = math.Ldexp(1, int(math.Ceil(math.Log2(maxAbs))))
+		for tapScale < maxAbs {
+			tapScale *= 2
+		}
+	}
+	type tapQ struct {
+		d      int
+		re, im int32
+	}
+	var taps []tapQ
+	inv := 1 / tapScale
+	for d, t := range m.taps {
+		if t == 0 {
+			continue
+		}
+		taps = append(taps, tapQ{
+			d:  d,
+			re: int32(fxp.QuantQ15(real(t) * inv)),
+			im: int32(fxp.QuantQ15(imag(t) * inv)),
+		})
+	}
+	out := fxp.New(x.Len())
+	// One headroom bit on top of the Q15 shift: |sum of tap magnitudes| of
+	// a unit-energy realization stays under 2 in practice; outliers clip at
+	// the rails like any other saturating stage.
+	const headroom = 1
+	out.Scale = x.Scale * tapScale * (1 << headroom)
+	for i := 0; i < x.Len(); i++ {
+		var accI, accQ int64
+		for _, t := range taps {
+			j := i - t.d
+			if j < 0 {
+				continue
+			}
+			xi, xq := int64(x.I[j]), int64(x.Q[j])
+			accI += xi*int64(t.re) - xq*int64(t.im)
+			accQ += xi*int64(t.im) + xq*int64(t.re)
+		}
+		out.I[i] = satRNE64(accI, fxp.FracBits+headroom)
+		out.Q[i] = satRNE64(accQ, fxp.FracBits+headroom)
+	}
+	return out
+}
+
+// satRNE64 shifts a 64-bit accumulator down by sh bits with
+// round-to-nearest-even and saturates to the int16 rails.
+func satRNE64(v int64, sh uint) int16 {
+	r := v >> sh
+	rem := v - r<<sh
+	half := int64(1) << (sh - 1)
+	if rem > half || (rem == half && r&1 != 0) {
+		r++
+	}
+	if r > fxp.MaxMant {
+		return fxp.MaxMant
+	}
+	if r < fxp.MinMant {
+		return fxp.MinMant
+	}
+	return int16(r)
+}
+
+// ApplyFxp multiplies a Q1.15 block by the track's current gain, advancing
+// the fading state exactly as the float lane does (same draw).
+func (f *FadingTrack) ApplyFxp(x *fxp.Buf) *fxp.Buf {
+	g := f.Next()
+	out := fxp.New(x.Len())
+	out.CopyFrom(x)
+	if g == 0 {
+		// A (measure-zero) dead fade: the output is silence at the input's
+		// scale rather than a panic in Rotate.
+		for i := range out.I {
+			out.I[i], out.Q[i] = 0, 0
+		}
+		return out
+	}
+	out.Rotate(g)
+	return out
+}
+
+// AWGNFxp adds complex white Gaussian noise of the given total power
+// (watts) to x in place, drawing exactly the per-sample RNG stream AWGN
+// draws, quantizing each draw at x's block scale and adding with
+// saturation. Zero power is the noiseless fast path.
+func AWGNFxp(r *rng.Source, x *fxp.Buf, noisePowerW float64) *fxp.Buf {
+	if noisePowerW == 0 {
+		return x
+	}
+	if noisePowerW < 0 || math.IsNaN(noisePowerW) || math.IsInf(noisePowerW, 0) {
+		panic(fmt.Sprintf("channel: AWGN noise power %v W must be finite and >= 0", noisePowerW))
+	}
+	sigma := math.Sqrt(noisePowerW / 2)
+	k := float64(fxp.One) / x.Scale
+	for i := range x.I {
+		n := r.Complex(sigma)
+		x.I[i] = fxp.SatAdd(x.I[i], quantMant(real(n)*k))
+		x.Q[i] = fxp.SatAdd(x.Q[i], quantMant(imag(n)*k))
+	}
+	return x
+}
+
+// quantMant rounds an already-scaled mantissa value with symmetric clamp.
+func quantMant(v float64) int16 {
+	r := math.RoundToEven(v)
+	if r > fxp.MaxMant {
+		return fxp.MaxMant
+	}
+	if r < -fxp.MaxMant {
+		return -fxp.MaxMant
+	}
+	return int16(r)
+}
+
+// CombineFxp sums any number of equally long Q1.15 propagation products and
+// adds receiver noise: the fixed-point lane of Combine. The output block
+// scale is the coarsest input scale widened by ceil(log2(#paths)) headroom
+// bits, so the sum itself cannot saturate; only the noise add can clip, at
+// the same rails every saturating stage uses.
+func CombineFxp(r *rng.Source, noisePowerW float64, paths ...*fxp.Buf) *fxp.Buf {
+	if len(paths) == 0 {
+		panic("channel: Combine needs at least one path")
+	}
+	n := paths[0].Len()
+	maxScale := 0.0
+	for _, p := range paths {
+		if p.Len() != n {
+			panic("channel: Combine length mismatch")
+		}
+		if p.Scale > maxScale {
+			maxScale = p.Scale
+		}
+	}
+	headroom := 0
+	for 1<<headroom < len(paths) {
+		headroom++
+	}
+	out := fxp.New(n)
+	out.Scale = maxScale * float64(int(1)<<headroom)
+	for _, p := range paths {
+		fxp.AccumulateSat(out, p)
+	}
+	return AWGNFxp(r, out, noisePowerW)
+}
+
+// ReceiveFxp is the fixed-point lane of Receive: combine, noise, then the
+// impairment pipeline's fxp path. The RNG consumption matches Receive
+// draw for draw.
+func (l *Link) ReceiveFxp(paths ...*fxp.Buf) *fxp.Buf {
+	rx := CombineFxp(l.noise, l.NoisePowerW, paths...)
+	return l.impair.ProcessFxp(rx)
+}

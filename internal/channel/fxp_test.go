@@ -1,0 +1,107 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"lscatter/internal/fxp"
+	"lscatter/internal/impair"
+	"lscatter/internal/rng"
+)
+
+func randBlock(r *rng.Source, n int, sigma float64) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = r.Complex(sigma)
+	}
+	return x
+}
+
+// checkClose compares a fixed-point block against its float reference with a
+// tolerance in mantissa steps at the fixed-point block's scale.
+func checkClose(t *testing.T, name string, got *fxp.Buf, want []complex128, steps float64) {
+	t.Helper()
+	if got.Len() != len(want) {
+		t.Fatalf("%s: %d samples, want %d", name, got.Len(), len(want))
+	}
+	tol := steps * got.Scale / 32768
+	for s := range want {
+		g := got.At(s)
+		if math.Abs(real(g)-real(want[s])) > tol || math.Abs(imag(g)-imag(want[s])) > tol {
+			t.Fatalf("%s sample %d: fxp %v, float %v (tol %g)", name, s, g, want[s], tol)
+		}
+	}
+}
+
+// TestHopApplyFxpMatchesFloat pins the hop's fixed-point lane: the scalar
+// gain and carrier phase fold into one rotation whose magnitude lives in the
+// block scale, so only rotation rounding separates the lanes.
+func TestHopApplyFxpMatchesFloat(t *testing.T) {
+	h := NewHop(rng.New(2), PathLoss{FreqHz: 680e6, Exponent: 2}, 5, 0, 0, nil)
+	x := randBlock(rng.New(12), 512, 0.2)
+	want := h.Apply(x)
+	got := h.ApplyFxp(fxp.FromComplex(x))
+	checkClose(t, "hop", got, want, 4)
+}
+
+// TestMultipathApplyFxpMatchesFloat pins the integer convolution against the
+// float filter: taps quantized at their own power-of-two scale, 64-bit
+// accumulation, one headroom bit.
+func TestMultipathApplyFxpMatchesFloat(t *testing.T) {
+	m := NewMultipath(rng.New(3), PedestrianProfile, 1.92e6*4)
+	x := randBlock(rng.New(13), 512, 0.2)
+	want := m.Apply(x)
+	got := m.ApplyFxp(fxp.FromComplex(x))
+	checkClose(t, "multipath", got, want, 8)
+}
+
+// TestFadingTrackApplyFxpMatchesFloat pins the draw-parity contract: two
+// identically seeded tracks, one per lane, must consume the same gain draws
+// and stay aligned across successive blocks.
+func TestFadingTrackApplyFxpMatchesFloat(t *testing.T) {
+	ff := NewFadingTrack(rng.New(11), 0.8)
+	fx := NewFadingTrack(rng.New(11), 0.8)
+	r := rng.New(14)
+	for blk := 0; blk < 3; blk++ {
+		x := randBlock(r, 256, 0.2)
+		want := ff.Apply(x)
+		got := fx.ApplyFxp(fxp.FromComplex(x))
+		checkClose(t, "fading", got, want, 4)
+	}
+	if ff.Next() != fx.Next() {
+		t.Fatal("fading RNG streams diverged after three blocks — lane draw parity broken")
+	}
+}
+
+// TestCombineFxpMatchesFloat pins the receiver combiner: path sum under
+// headroom scaling plus noise drawn from the same stream the float lane
+// draws, quantized at the output block scale.
+func TestCombineFxpMatchesFloat(t *testing.T) {
+	r := rng.New(15)
+	a := randBlock(r, 384, 0.2)
+	b := randBlock(r, 384, 0.002) // widely different block scales
+	const noiseW = 1e-4
+	want := Combine(rng.New(7), noiseW, a, b)
+	got := CombineFxp(rng.New(7), noiseW, fxp.FromComplex(a), fxp.FromComplex(b))
+	checkClose(t, "combine", got, want, 4)
+}
+
+// TestReceiveFxpMatchesFloat pins the full link receive in its fixed-point
+// lane with a jitter impairment: the shift draws must match, so the lanes
+// differ only by quantization.
+func TestReceiveFxpMatchesFloat(t *testing.T) {
+	cfg := impair.Config{
+		Seed:   9,
+		Jitter: impair.JitterConfig{Enabled: true, RMSSamples: 2},
+	}
+	const noiseW = 1e-5
+	lf := NewLink(rng.New(5), noiseW, WithImpairment(impair.New(cfg)))
+	lx := NewLink(rng.New(5), noiseW, WithImpairment(impair.New(cfg)))
+	r := rng.New(16)
+	for blk := 0; blk < 3; blk++ { // several blocks exercise the jitter history
+		x := randBlock(r, 384, 0.2)
+		want := lf.Receive(x)
+		got := lx.ReceiveFxp(fxp.FromComplex(x))
+		checkClose(t, "receive", got, want, 4)
+	}
+}

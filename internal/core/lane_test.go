@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lscatter/internal/impair"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/simlink"
+)
+
+// laneBERBudget is the documented dual-lane divergence bound: the Q1.15
+// lane must reproduce the float lane's exact-mode BER within this absolute
+// difference on the golden end-to-end configurations. The budget's
+// derivation (quantization error vs decision margins) is in
+// docs/PERFORMANCE.md; widening it requires a documented reason there.
+const laneBERBudget = 0.02
+
+// laneConfigs mirrors the golden end-to-end vectors (golden_test.go): the
+// clean exact chain and the CFO+ADC impaired rung, both at 1.4 MHz with the
+// pinned seed.
+func laneConfigs() map[string]LinkConfig {
+	clean := DefaultLinkConfig(ltephy.BW1_4)
+	clean.Mode = Exact
+	clean.Subframes = 4
+	clean.Seed = 42
+
+	impaired := clean
+	impaired.Impair = &impair.Config{
+		Seed: 42,
+		CFO:  impair.CFOConfig{Enabled: true, OffsetHz: 900, DriftHzPerSec: 200},
+		ADC:  impair.ADCConfig{Enabled: true, Bits: 10},
+	}
+
+	long := clean
+	long.Subframes = 20
+
+	return map[string]LinkConfig{"clean": clean, "impaired": impaired, "long": long}
+}
+
+// TestLaneDifferentialBER pins the fixed-point lane against the float
+// conformance reference on the golden end-to-end configurations: the link
+// must come up identically (sync, LTE decode, audibility), compare the same
+// number of bits, and land within the documented BER budget.
+func TestLaneDifferentialBER(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact chain runs")
+	}
+	for name, cfg := range laneConfigs() {
+		ref := Run(cfg)
+
+		fxpCfg := cfg
+		fxpCfg.Lane = simlink.LaneFixedPoint
+		got := Run(fxpCfg)
+
+		if got.Synced != ref.Synced || got.LTEOK != ref.LTEOK || got.TagHearsENodeB != ref.TagHearsENodeB {
+			t.Fatalf("%s: link state diverged: fxp{sync %v lte %v hears %v} float{%v %v %v}",
+				name, got.Synced, got.LTEOK, got.TagHearsENodeB, ref.Synced, ref.LTEOK, ref.TagHearsENodeB)
+		}
+		if got.BitsCompared != ref.BitsCompared {
+			t.Fatalf("%s: fxp lane compared %d bits, float %d — the lanes must demodulate the same symbols",
+				name, got.BitsCompared, ref.BitsCompared)
+		}
+		if ref.BitsCompared == 0 {
+			t.Fatalf("%s: no bits compared — config no longer exercises the chain", name)
+		}
+		if d := math.Abs(got.BER - ref.BER); d > laneBERBudget {
+			t.Fatalf("%s: |BER(fxp) - BER(float)| = %v exceeds the %v budget (fxp %v, float %v over %d bits)",
+				name, d, laneBERBudget, got.BER, ref.BER, ref.BitsCompared)
+		}
+	}
+}
+
+// TestLaneFloatIsDefault pins that the zero-value Lane is the float
+// conformance reference: the golden vectors must never silently move to the
+// fixed-point lane.
+func TestLaneFloatIsDefault(t *testing.T) {
+	var cfg LinkConfig
+	if cfg.Lane != simlink.LaneFloat {
+		t.Fatal("zero-value LinkConfig must select the float lane")
+	}
+}

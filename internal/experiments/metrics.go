@@ -105,6 +105,9 @@ type Report struct {
 	Cache CacheReport `json:"cache"`
 	// Artifacts holds the per-artifact metrics (skipped artifacts omitted).
 	Artifacts []RunMetrics `json:"artifacts"`
+	// RTF, when the run included `-rtf`, is the real-time-factor measurement
+	// (see rtf.go and docs/PERFORMANCE.md).
+	RTF *RTFReport `json:"rtf,omitempty"`
 }
 
 // BuildReport assembles a Report from instrumented results, typically the

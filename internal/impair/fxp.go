@@ -1,0 +1,154 @@
+package impair
+
+import (
+	"math"
+
+	"lscatter/internal/fxp"
+)
+
+// This file is the impairment pipeline's fixed-point lane. Stages whose
+// math is naturally integer — the timing jitter (an index shift) and the
+// ADC (clip + requantize) — implement fxpStage and process Q1.15 blocks
+// natively. The remaining stages (SFO resampling, CFO rotation,
+// interference synthesis) run their float reference path behind a
+// convert/reconvert bridge: correctness and RNG parity first, speed where
+// it is free. docs/PERFORMANCE.md's lane-selection guidance spells out the
+// consequence: a chain with CFO or SFO enabled gains little from the fxp
+// lane, a clean or jitter/ADC-only chain keeps the full win.
+//
+// A pipeline must be fed one lane consistently: the stateful stages keep
+// per-lane stream state (the jitter history is mantissas in one lane and
+// complex samples in the other), so interleaving lanes mid-stream would
+// splice two different histories.
+
+// fxpStage is implemented by stages with a native fixed-point path.
+type fxpStage interface {
+	ProcessFxp(x *fxp.Buf) *fxp.Buf
+}
+
+// ProcessFxp pushes one Q1.15 block through every stage in order: native
+// fxp stages run in integer arithmetic, the rest bridge through the float
+// reference path. With no active stages the input is returned unchanged.
+// The RNG consumption matches Process draw for draw, so a fixed-point
+// session stays stream-aligned with its float twin.
+func (p *Pipeline) ProcessFxp(x *fxp.Buf) *fxp.Buf {
+	if p == nil {
+		return x
+	}
+	for _, s := range p.stages {
+		if fs, ok := s.(fxpStage); ok {
+			x = fs.ProcessFxp(x)
+			continue
+		}
+		fl := s.Process(x.ToComplex(nil))
+		nb := fxp.New(len(fl))
+		nb.SetComplex(fl)
+		x = nb
+	}
+	return x
+}
+
+// ProcessFxp re-times the block by the same shift draw the float path
+// makes, moving mantissas instead of complex words. The history carries its
+// own block scale; when scales differ across a block boundary the borrowed
+// tail samples are requantized to the current block's scale.
+func (s *jitterStage) ProcessFxp(x *fxp.Buf) *fxp.Buf {
+	shift := int(math.Round(s.r.NormFloat64() * s.cfg.RMSSamples))
+	if shift > s.max {
+		shift = s.max
+	}
+	if shift < -s.max {
+		shift = -s.max
+	}
+	out := fxp.New(x.Len())
+	out.Scale = x.Scale
+	histRatio := 0.0
+	if s.histFxp != nil {
+		histRatio = s.histFxp.Scale / x.Scale
+	}
+	at := func(i int) (int16, int16) {
+		switch {
+		case i < 0:
+			if s.histFxp == nil {
+				return 0, 0
+			}
+			h := s.histFxp.Len() + i
+			if h < 0 {
+				return 0, 0
+			}
+			if histRatio == 1 {
+				return s.histFxp.I[h], s.histFxp.Q[h]
+			}
+			return requantMant(s.histFxp.I[h], histRatio), requantMant(s.histFxp.Q[h], histRatio)
+		case i >= x.Len():
+			return x.I[x.Len()-1], x.Q[x.Len()-1]
+		}
+		return x.I[i], x.Q[i]
+	}
+	for i := range out.I {
+		out.I[i], out.Q[i] = at(i - shift)
+	}
+	if s.max > 0 && x.Len() >= s.max {
+		if s.histFxp == nil {
+			s.histFxp = fxp.New(s.max)
+		}
+		copy(s.histFxp.I, x.I[x.Len()-s.max:])
+		copy(s.histFxp.Q, x.Q[x.Len()-s.max:])
+		s.histFxp.Scale = x.Scale
+	}
+	return out
+}
+
+// requantMant rescales one mantissa by a positive ratio with
+// round-to-nearest-even and the symmetric clamp.
+func requantMant(m int16, ratio float64) int16 {
+	return mantRound(float64(m) * ratio)
+}
+
+// mantRound rounds a mantissa-domain value to the nearest even integer and
+// clamps to the symmetric rails.
+func mantRound(v float64) int16 {
+	r := math.RoundToEven(v)
+	if r > fxp.MaxMant {
+		return fxp.MaxMant
+	}
+	if r < -fxp.MaxMant {
+		return -fxp.MaxMant
+	}
+	return int16(r)
+}
+
+// ProcessFxp clips and quantizes in the mantissa domain. The clip point is
+// relative to the block RMS exactly as in the float path, so the block
+// scale cancels out of the computation; the quantizer grid lands on the
+// same levels, re-rounded to the nearest mantissa step.
+func (s *adcStage) ProcessFxp(x *fxp.Buf) *fxp.Buf {
+	out := fxp.New(x.Len())
+	out.Scale = x.Scale
+	var sum int64
+	for i := range x.I {
+		sum += int64(x.I[i])*int64(x.I[i]) + int64(x.Q[i])*int64(x.Q[i])
+	}
+	if sum == 0 {
+		copy(out.I, x.I)
+		copy(out.Q, x.Q)
+		return out
+	}
+	p := float64(sum) / float64(x.Len())
+	full := math.Sqrt(p) * math.Pow(10, s.cfg.ClipBackoffDB/20)
+	levels := float64(int64(1)<<(s.cfg.Bits-1)) - 1
+	q := func(m int16) int16 {
+		v := float64(m)
+		if v > full {
+			v = full
+		} else if v < -full {
+			v = -full
+		}
+		return mantRound(math.Round(v/full*levels) / levels * full)
+	}
+	for i := range x.I {
+		out.I[i] = q(x.I[i])
+		out.Q[i] = q(x.Q[i])
+	}
+	return out
+}

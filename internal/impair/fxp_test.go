@@ -1,0 +1,95 @@
+package impair
+
+import (
+	"math"
+	"testing"
+
+	"lscatter/internal/dsp"
+	"lscatter/internal/fxp"
+	"lscatter/internal/rng"
+)
+
+func randBlock(r *rng.Source, n int, sigma float64) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = r.Complex(sigma)
+	}
+	return x
+}
+
+// TestJitterProcessFxpMatchesFloat pins the jitter stage's native
+// fixed-point path: same shift draws, mantissa moves instead of complex
+// copies, history requantized across block-scale changes.
+func TestJitterProcessFxpMatchesFloat(t *testing.T) {
+	cfg := Config{Seed: 3, Jitter: JitterConfig{Enabled: true, RMSSamples: 2}}
+	pf, px := New(cfg), New(cfg)
+	r := rng.New(21)
+	for blk := 0; blk < 4; blk++ {
+		x := randBlock(r, 300, 0.2)
+		if blk == 2 {
+			// Force a block-scale change so the borrowed history tail takes
+			// the requantization path.
+			for i := range x {
+				x[i] *= 4
+			}
+		}
+		want := pf.Process(x)
+		got := px.ProcessFxp(fxp.FromComplex(x))
+		tol := 3 * got.Scale / 32768
+		for s := range want {
+			g := got.At(s)
+			if math.Abs(real(g)-real(want[s])) > tol || math.Abs(imag(g)-imag(want[s])) > tol {
+				t.Fatalf("block %d sample %d: fxp %v, float %v (tol %g)", blk, s, g, want[s], tol)
+			}
+		}
+	}
+}
+
+// TestADCProcessFxpMatchesFloat pins the ADC stage's mantissa-domain
+// clip-and-quantize against the float reference. The two lanes compute the
+// block RMS from slightly different sample values, so codes adjacent to a
+// decision boundary may differ by one converter step — the tolerance is one
+// ADC LSB, far above the Q1.15 grid.
+func TestADCProcessFxpMatchesFloat(t *testing.T) {
+	cfg := Config{Seed: 4, ADC: ADCConfig{Enabled: true, Bits: 9}}
+	pf, px := New(cfg), New(cfg)
+	x := randBlock(rng.New(22), 512, 0.2)
+	want := pf.Process(x)
+	got := px.ProcessFxp(fxp.FromComplex(x))
+
+	full := math.Sqrt(dsp.Power(x)) * math.Pow(10, 12.0/20) // default backoff
+	lsb := full / (float64(int64(1)<<(9-1)) - 1)
+	tol := 1.05 * lsb
+	for s := range want {
+		g := got.At(s)
+		if math.Abs(real(g)-real(want[s])) > tol || math.Abs(imag(g)-imag(want[s])) > tol {
+			t.Fatalf("sample %d: fxp %v, float %v (tol %g)", s, g, want[s], tol)
+		}
+	}
+}
+
+// TestCFOBridgeProcessFxp pins the convert-fallback for stages without a
+// native fixed-point path: a CFO-only pipeline must produce the float
+// result re-quantized, with stream state (the phase ramp) advancing
+// identically across blocks.
+func TestCFOBridgeProcessFxp(t *testing.T) {
+	cfg := Config{
+		Seed:       5,
+		SampleRate: 1.92e6 * 4,
+		CFO:        CFOConfig{Enabled: true, OffsetHz: 700, DriftHzPerSec: 100},
+	}
+	pf, px := New(cfg), New(cfg)
+	r := rng.New(23)
+	for blk := 0; blk < 3; blk++ {
+		x := randBlock(r, 256, 0.2)
+		want := pf.Process(x)
+		got := px.ProcessFxp(fxp.FromComplex(x))
+		tol := 2 * got.Scale / 32768
+		for s := range want {
+			g := got.At(s)
+			if math.Abs(real(g)-real(want[s])) > tol || math.Abs(imag(g)-imag(want[s])) > tol {
+				t.Fatalf("block %d sample %d: fxp %v, float %v (tol %g)", blk, s, g, want[s], tol)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package simlink
+
+import (
+	"lscatter/internal/fxp"
+)
+
+// Lane selects the sample representation the Session's per-sample hot path
+// runs in. The float lane (complex128 end to end) is the conformance
+// reference; the fixed-point lane carries Q1.15 block-scaled buffers from
+// the tag's reflection through the channel, noise and impairments into the
+// scatter demodulator's front end, and is what the real-time-factor targets
+// in docs/PERFORMANCE.md are measured on.
+type Lane int
+
+const (
+	// LaneFloat runs the chain on complex128 samples (the default and the
+	// conformance reference).
+	LaneFloat Lane = iota
+	// LaneFixedPoint runs the per-sample chain on Q1.15 SoA buffers. The
+	// stages draw the same RNG streams in the same order as the float lane,
+	// so the two lanes are sample-comparable; the dual-lane differential
+	// tests pin the BER gap within the documented error budget.
+	LaneFixedPoint
+)
+
+// FxpStage is optionally implemented by PathStages with a native
+// fixed-point path. Stages that do not implement it still work in the
+// fixed-point lane through a convert/reconvert bridge (at float-lane cost
+// for that stage).
+type FxpStage interface {
+	ApplyFxp(x *fxp.Buf) *fxp.Buf
+}
+
+// applyStageFxp runs one PathStage on a Q1.15 block: natively when the
+// stage implements FxpStage, otherwise by bridging through its float path.
+func applyStageFxp(s PathStage, x *fxp.Buf) *fxp.Buf {
+	if fs, ok := s.(FxpStage); ok {
+		return fs.ApplyFxp(x)
+	}
+	return fxp.FromComplex(s.Apply(x.ToComplex(nil)))
+}
+
+// ApplyFxp applies the chained stages left to right in the fixed-point
+// lane, bridging any stage without a native path.
+func (c chainStage) ApplyFxp(x *fxp.Buf) *fxp.Buf {
+	for _, s := range c {
+		x = applyStageFxp(s, x)
+	}
+	return x
+}
+
+// ApplyFxp absorbs a pure positive real gain into the block scale — a
+// zero-cost view, no sample touched. Complex or negative gains fall back to
+// a copy-and-rotate.
+func (s gainStage) ApplyFxp(x *fxp.Buf) *fxp.Buf {
+	if imag(s.g) == 0 && real(s.g) > 0 {
+		return x.ScaledView(real(s.g))
+	}
+	out := fxp.New(x.Len())
+	out.CopyFrom(x)
+	if s.g == 0 {
+		for i := range out.I {
+			out.I[i], out.Q[i] = 0, 0
+		}
+		return out
+	}
+	out.Rotate(s.g)
+	return out
+}

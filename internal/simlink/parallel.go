@@ -1,0 +1,315 @@
+package simlink
+
+import (
+	"sync"
+
+	"lscatter/internal/channel"
+	"lscatter/internal/enodeb"
+	"lscatter/internal/fxp"
+	"lscatter/internal/tag"
+)
+
+// Subframe-parallel execution.
+//
+// A Session's chain has a sharp pure/stateful split. Stateful work — the
+// Source's subframe generator, the tags' bit queues and jitter draws, fading
+// tracks, receiver noise, impairments, carrier tracking, the Sink — must run
+// in subframe order to keep the determinism contract. But the bulk of the
+// per-sample cost (tag waveform application, hop rotations, multipath
+// convolution, fixed gains) is a pure function of one subframe's inputs.
+// RunParallel exploits that: a coordinator performs all stateful planning in
+// order, workers fan the pure per-sample work out across subframes, and an
+// ordered merge performs the stateful tail — so the RNG streams are consumed
+// in exactly the per-subframe order Run would use and the results are
+// bit-identical at any worker count.
+//
+// Stages are classified conservatively: a stage is parallel-safe only when
+// it is one of the known pure types (a Hop without fading, a Multipath, a
+// fixed gain, a Chain of those). Everything else — including any PathFunc,
+// whose body the engine cannot inspect — runs at the merge point. A Chain is
+// split at its first stateful stage: the pure prefix runs on workers, the
+// remainder in order.
+
+// stagePure reports whether s is one of the known pure (draw-free,
+// state-free) stage types.
+func stagePure(s PathStage) bool {
+	switch v := s.(type) {
+	case *channel.Hop:
+		return v.Fading == nil
+	case *channel.Multipath:
+		return true
+	case gainStage:
+		return true
+	case chainStage:
+		for _, c := range v {
+			if !stagePure(c) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// splitPath splits a path into a parallel-safe prefix and an in-order
+// remainder (either may be nil).
+func splitPath(s PathStage) (pure, rest PathStage) {
+	if s == nil {
+		return nil, nil
+	}
+	if stagePure(s) {
+		return s, nil
+	}
+	if c, ok := s.(chainStage); ok {
+		i := 0
+		for i < len(c) && stagePure(c[i]) {
+			i++
+		}
+		if i == 0 {
+			return nil, c
+		}
+		return c[:i], c[i:]
+	}
+	return nil, s
+}
+
+// pwave is one propagation product in whichever lane the session runs.
+type pwave struct {
+	f []complex128
+	x *fxp.Buf
+}
+
+func (w pwave) applyRest(rest PathStage, lane Lane) pwave {
+	if rest == nil {
+		return w
+	}
+	if lane == LaneFixedPoint {
+		return pwave{x: applyStageFxp(rest, w.x)}
+	}
+	return pwave{f: rest.Apply(w.f)}
+}
+
+// plContrib is one tag's reflection within a job.
+type plContrib struct {
+	tagIdx int
+	owner  bool
+	plan   tag.Plan
+	raw    pwave // reflection before the tag's path (kept for the tap)
+	out    pwave // reflection after the parallel-safe path prefix
+}
+
+// plJob is one subframe in flight: planned in order, worked on by any
+// worker, merged in order.
+type plJob struct {
+	f        *Frame
+	sf       *enodeb.Subframe
+	contribs []plContrib
+	direct   pwave
+	done     chan struct{}
+}
+
+// planJob performs the stateful front half of Step for one subframe: source
+// advance, ownership, payload feed, jitter draw, modulation planning.
+func (s *Session) planJob() *plJob {
+	sf := s.Source.NextSubframe()
+	f := &Frame{
+		N:        s.n,
+		Subframe: sf,
+		Burst:    IsBurstSubframe(sf.Index),
+		Owner:    -1,
+	}
+	s.n++
+	if len(s.Tags) > 0 {
+		f.Owner = 0
+		if s.Owner != nil {
+			f.Owner = s.Owner(f.N)
+		}
+	}
+	j := &plJob{f: f, sf: sf, done: make(chan struct{})}
+	for i, t := range s.Tags {
+		switch {
+		case i == f.Owner:
+			if t.Feed != nil {
+				t.Feed(f.N, t.Mod)
+			}
+			if t.Jitter != nil && f.Burst {
+				t.Mod.SetTimingError(t.base() + t.Jitter.Next())
+			}
+			pl := t.Mod.PlanSubframe(sf.Index, f.Burst)
+			f.Records = pl.Records
+			j.contribs = append(j.contribs, plContrib{tagIdx: i, owner: true, plan: pl})
+		case t.Park:
+			j.contribs = append(j.contribs, plContrib{tagIdx: i})
+		}
+	}
+	return j
+}
+
+// workJob performs the pure middle of Step: waveform application and the
+// parallel-safe path prefixes. Safe to run concurrently across jobs — it
+// reads only construction-time state and the job's own inputs.
+func (s *Session) workJob(j *plJob, directPure PathStage, tagPure []PathStage) {
+	keepRaw := s.Taps.Reflected != nil
+	if s.Lane == LaneFixedPoint {
+		amb := fxp.FromComplex(j.sf.Samples)
+		if s.Direct != nil {
+			d := amb
+			if directPure != nil {
+				d = applyStageFxp(directPure, d)
+			}
+			j.direct = pwave{x: d}
+		}
+		for k := range j.contribs {
+			c := &j.contribs[k]
+			t := s.Tags[c.tagIdx]
+			var refl *fxp.Buf
+			if c.owner {
+				refl = t.Mod.ApplyPlanFxp(amb, c.plan)
+			} else {
+				refl = t.Mod.ParkedSubframeFxp(amb)
+			}
+			if keepRaw {
+				c.raw = pwave{x: refl}
+			}
+			if p := tagPure[c.tagIdx]; p != nil {
+				refl = applyStageFxp(p, refl)
+			}
+			c.out = pwave{x: refl}
+		}
+		return
+	}
+	if s.Direct != nil {
+		d := j.sf.Samples
+		if directPure != nil {
+			d = directPure.Apply(d)
+		}
+		j.direct = pwave{f: d}
+	}
+	for k := range j.contribs {
+		c := &j.contribs[k]
+		t := s.Tags[c.tagIdx]
+		var refl []complex128
+		if c.owner {
+			refl = t.Mod.ApplyPlan(j.sf.Samples, c.plan)
+		} else {
+			refl = t.Mod.ParkedSubframe(j.sf.Samples)
+		}
+		if keepRaw {
+			c.raw = pwave{f: refl}
+		}
+		if p := tagPure[c.tagIdx]; p != nil {
+			refl = p.Apply(refl)
+		}
+		c.out = pwave{f: refl}
+	}
+}
+
+// mergeJob performs the stateful back half of Step, strictly in subframe
+// order: taps, the in-order path remainders, the receiver, tracking, the
+// Sink, and the stream-position advance.
+func (s *Session) mergeJob(j *plJob, directRest PathStage, tagRest []PathStage) {
+	f := j.f
+	f.Start = s.start
+	if s.Taps.Ambient != nil {
+		s.Taps.Ambient(f, j.sf.Samples)
+	}
+	fixedPoint := s.Lane == LaneFixedPoint
+	var paths []pwave
+	if s.Direct != nil {
+		paths = append(paths, j.direct.applyRest(directRest, s.Lane))
+	}
+	for k := range j.contribs {
+		c := &j.contribs[k]
+		if s.Taps.Reflected != nil {
+			raw := c.raw.f
+			if fixedPoint {
+				raw = c.raw.x.ToComplex(nil)
+			}
+			s.Taps.Reflected(f, c.tagIdx, raw)
+		}
+		paths = append(paths, c.out.applyRest(tagRest[c.tagIdx], s.Lane))
+	}
+
+	if s.Link != nil {
+		if fixedPoint {
+			px := make([]*fxp.Buf, len(paths))
+			for i := range paths {
+				px[i] = paths[i].x
+			}
+			f.RXFxp = s.Link.ReceiveFxp(px...)
+			f.RX = f.RXFxp.ToComplex(nil)
+		} else {
+			pf := make([][]complex128, len(paths))
+			for i := range paths {
+				pf[i] = paths[i].f
+			}
+			f.RX = s.Link.Receive(pf...)
+		}
+	} else {
+		f.RX = j.sf.Samples
+	}
+	if s.Tracker != nil {
+		f.RX, f.Reacquired = s.Tracker.Process(f.RX, f.Start)
+		f.RXFxp = nil
+	}
+
+	advance := true
+	if s.Sink != nil {
+		advance = s.Sink.Consume(f)
+	}
+	if advance {
+		s.start += len(j.sf.Samples)
+	}
+}
+
+// RunParallel advances the chain n subframes with the pure per-sample work
+// fanned out across the given number of workers. Results are bit-identical
+// to Run(n) at any worker count: all stateful stages and every RNG draw
+// happen in subframe order on the coordinating goroutine. workers <= 1
+// degrades to the sequential Run. The number of subframes in flight is
+// bounded (2*workers), so memory stays O(workers) subframes.
+func (s *Session) RunParallel(n, workers int) {
+	if workers <= 1 {
+		s.Run(n)
+		return
+	}
+	directPure, directRest := splitPath(s.Direct)
+	tagPure := make([]PathStage, len(s.Tags))
+	tagRest := make([]PathStage, len(s.Tags))
+	for i, t := range s.Tags {
+		tagPure[i], tagRest[i] = splitPath(t.Path)
+	}
+
+	jobs := make(chan *plJob, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				s.workJob(j, directPure, tagPure)
+				close(j.done)
+			}
+		}()
+	}
+
+	var inflight []*plJob
+	flush := func(j *plJob) {
+		<-j.done
+		s.mergeJob(j, directRest, tagRest)
+	}
+	for i := 0; i < n; i++ {
+		j := s.planJob()
+		jobs <- j
+		inflight = append(inflight, j)
+		if len(inflight) >= 2*workers {
+			flush(inflight[0])
+			inflight = inflight[1:]
+		}
+	}
+	close(jobs)
+	for _, j := range inflight {
+		flush(j)
+	}
+	wg.Wait()
+}

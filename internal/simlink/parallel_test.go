@@ -1,0 +1,180 @@
+package simlink
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"lscatter/internal/channel"
+	"lscatter/internal/enodeb"
+	"lscatter/internal/impair"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/rng"
+	"lscatter/internal/tag"
+)
+
+// runFingerprint captures everything observable about a session run: a hash
+// of every frame's RX samples, the tap waveforms, owners, records and the
+// final stream position. Bit-identity between Run and RunParallel is the
+// contract, so the comparison is exact, not tolerance-based.
+type runFingerprint struct {
+	rx       [32]byte
+	taps     [32]byte
+	owners   []int
+	recBits  int
+	startEnd int
+}
+
+func hashInto(h []byte, x []complex128) [32]byte {
+	buf := make([]byte, 16*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(buf[16*i:], math.Float64bits(real(v)))
+		binary.LittleEndian.PutUint64(buf[16*i+8:], math.Float64bits(imag(v)))
+	}
+	return sha256.Sum256(append(h, buf...))
+}
+
+// parallelTestSession builds a deliberately awkward chain: two TDMA tags
+// (one parked), per-burst jitter, a pure multipath prefix chained into an
+// impure fading stage, an opaque PathFunc on the direct path, and an
+// impairment pipeline — every classification branch of splitPath at once.
+func parallelTestSession(lane Lane, fp *runFingerprint) *Session {
+	cfg := enodeb.DefaultConfig(ltephy.BW1_4)
+	cfg.Seed = 5
+	p := cfg.Params
+	r := rng.New(77)
+	mods := []*tag.Modulator{
+		tag.NewModulator(tag.ModConfig{Params: p, ID: 1, TimingErrorUnits: 1}),
+		tag.NewModulator(tag.ModConfig{Params: p, ID: 2}),
+	}
+	for _, m := range mods {
+		m.QueueBits(r.Bits(make([]byte, 30*m.PerSymbolBits())))
+	}
+	mp := channel.NewMultipath(r.Fork(2), channel.PedestrianProfile, p.SampleRate())
+	fading := channel.NewFadingTrack(r.Fork(3), 0.9)
+	jitter := impair.NewTimingJitter(impair.Config{
+		Seed:   21,
+		Jitter: impair.JitterConfig{Enabled: true, RMSSamples: 1.5},
+	})
+	pipe := impair.New(impair.Config{
+		Seed: 22,
+		ADC:  impair.ADCConfig{Enabled: true, Bits: 12},
+	})
+	// An opaque function stage: conservatively impure, must run in order.
+	scale := PathFunc(func(x []complex128) []complex128 {
+		out := make([]complex128, len(x))
+		for i, v := range x {
+			out[i] = v * complex(0.9, 0)
+		}
+		return out
+	})
+	noiseW := 0.01 * math.Pow(10, -9)
+	return &Session{
+		Source: enodeb.New(cfg),
+		Direct: Chain(GainDB(-40), scale),
+		Tags: []*Tag{
+			{Mod: mods[0], Path: Chain(mp, GainDB(-70), fading), Jitter: jitter, Park: true},
+			{Mod: mods[1], Path: GainDB(-72)},
+		},
+		Owner: func(n int) int { return (n / 2) % 2 },
+		Link:  channel.NewLink(r.Fork(4), noiseW, channel.WithImpairment(pipe)),
+		Lane:  lane,
+		Taps: Taps{
+			Ambient: func(_ *Frame, x []complex128) {
+				fp.taps = hashInto(fp.taps[:], x[:16])
+			},
+			Reflected: func(_ *Frame, tagIdx int, x []complex128) {
+				fp.taps = hashInto(fp.taps[:], x[:16])
+			},
+		},
+		Sink: SinkFunc(func(f *Frame) bool {
+			fp.rx = hashInto(fp.rx[:], f.RX)
+			fp.owners = append(fp.owners, f.Owner)
+			for _, rec := range f.Records {
+				fp.recBits += len(rec.Bits)
+			}
+			return true
+		}),
+	}
+}
+
+// TestRunParallelBitIdentical pins RunParallel's contract: at any worker
+// count, in both lanes, the run is bit-identical to the sequential Run —
+// same RX streams, same tap waveforms, same records, same RNG consumption.
+func TestRunParallelBitIdentical(t *testing.T) {
+	const subframes = 8
+	for _, lane := range []Lane{LaneFloat, LaneFixedPoint} {
+		var ref runFingerprint
+		sess := parallelTestSession(lane, &ref)
+		sess.Run(subframes)
+		ref.startEnd = sess.StartSample()
+
+		for _, workers := range []int{2, 3, 7} {
+			var got runFingerprint
+			ps := parallelTestSession(lane, &got)
+			ps.RunParallel(subframes, workers)
+			got.startEnd = ps.StartSample()
+
+			if got.rx != ref.rx {
+				t.Fatalf("lane %v workers %d: RX stream diverged from sequential Run", lane, workers)
+			}
+			if got.taps != ref.taps {
+				t.Fatalf("lane %v workers %d: tap waveforms diverged", lane, workers)
+			}
+			if got.recBits != ref.recBits || got.startEnd != ref.startEnd {
+				t.Fatalf("lane %v workers %d: records/position diverged (%d/%d bits, %d/%d samples)",
+					lane, workers, got.recBits, ref.recBits, got.startEnd, ref.startEnd)
+			}
+			for i := range ref.owners {
+				if got.owners[i] != ref.owners[i] {
+					t.Fatalf("lane %v workers %d: owner schedule diverged at subframe %d", lane, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRunParallelDegenerate pins the workers<=1 fallthrough to Run.
+func TestRunParallelDegenerate(t *testing.T) {
+	var a, b runFingerprint
+	s1 := parallelTestSession(LaneFloat, &a)
+	s1.Run(2)
+	s2 := parallelTestSession(LaneFloat, &b)
+	s2.RunParallel(2, 1)
+	if a.rx != b.rx {
+		t.Fatal("RunParallel(n, 1) diverged from Run(n)")
+	}
+}
+
+// TestSplitPathClassification pins the conservative purity rules splitPath
+// builds on: known-pure stages parallelize, anything opaque stays in order.
+func TestSplitPathClassification(t *testing.T) {
+	r := rng.New(3)
+	mp := channel.NewMultipath(r, channel.PedestrianProfile, 1.92e6*4)
+	fading := channel.NewFadingTrack(r, 0.5)
+	pl := channel.PathLoss{FreqHz: 680e6, Exponent: 2}
+	hopPure := channel.NewHop(r, pl, 5, 0, 0, nil)
+
+	if !stagePure(mp) || !stagePure(hopPure) || !stagePure(GainDB(-3)) {
+		t.Fatal("known-pure stages classified impure")
+	}
+	if stagePure(fading) || stagePure(Identity) {
+		t.Fatal("stateful or opaque stages classified pure")
+	}
+
+	// A chain splits at its first impure stage.
+	pure, rest := splitPath(Chain(mp, GainDB(-3), fading, GainDB(-1)))
+	if pure == nil || rest == nil {
+		t.Fatal("mixed chain must split into prefix and remainder")
+	}
+	if len(pure.(chainStage)) != 2 || len(rest.(chainStage)) != 2 {
+		t.Fatalf("split lengths %d/%d, want 2/2", len(pure.(chainStage)), len(rest.(chainStage)))
+	}
+	if pure, rest := splitPath(nil); pure != nil || rest != nil {
+		t.Fatal("nil path must split into nothing")
+	}
+	if pure, rest := splitPath(Identity); pure != nil || rest == nil {
+		t.Fatal("opaque stage must run entirely in order")
+	}
+}

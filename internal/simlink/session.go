@@ -3,6 +3,7 @@ package simlink
 import (
 	"lscatter/internal/channel"
 	"lscatter/internal/enodeb"
+	"lscatter/internal/fxp"
 	"lscatter/internal/impair"
 	"lscatter/internal/tag"
 	"lscatter/internal/ue"
@@ -65,7 +66,13 @@ type Frame struct {
 	// RX is the waveform at the receiver: all paths combined, noise and
 	// impairments applied, carrier tracking (if any) removed. With no
 	// channel.Link configured it aliases the ambient samples directly.
+	// Always populated, in both lanes.
 	RX []complex128
+	// RXFxp is the receiver waveform in Q1.15 form, populated only by
+	// fixed-point-lane sessions (and cleared when the carrier tracker — a
+	// float stage — rewrites RX). Sinks that know the fixed-point front end
+	// (DemodSink) consume it; everything else reads RX.
+	RXFxp *fxp.Buf
 	// Start is the absolute sample position of this subframe in the
 	// receiver's stream (the phase anchor for CFO correction and the
 	// scatter demodulator).
@@ -135,6 +142,12 @@ type Session struct {
 	Sink Sink
 	// Taps optionally observe intermediate waveforms.
 	Taps Taps
+	// Lane selects the sample representation of the per-sample chain:
+	// LaneFloat (default) is the complex128 conformance reference,
+	// LaneFixedPoint runs tag reflection, paths, combine, noise and
+	// impairments on Q1.15 buffers (same RNG streams, same draw order). See
+	// docs/PERFORMANCE.md for when each lane is the right choice.
+	Lane Lane
 
 	n     int
 	start int
@@ -148,6 +161,9 @@ func (s *Session) StartSample() int { return s.start }
 
 // Step advances the chain by one subframe and returns the consumed Frame.
 func (s *Session) Step() *Frame {
+	if s.Lane == LaneFixedPoint {
+		return s.stepFxp()
+	}
 	sf := s.Source.NextSubframe()
 	f := &Frame{
 		N:        s.n,
@@ -208,6 +224,86 @@ func (s *Session) Step() *Frame {
 	}
 	if s.Tracker != nil {
 		f.RX, f.Reacquired = s.Tracker.Process(f.RX, f.Start)
+	}
+
+	advance := true
+	if s.Sink != nil {
+		advance = s.Sink.Consume(f)
+	}
+	if advance {
+		s.start += len(sf.Samples)
+	}
+	return f
+}
+
+// stepFxp is the fixed-point lane of Step. The stage order, the RNG draw
+// order and the Frame contract are identical to the float path; the
+// per-sample work runs on Q1.15 buffers. The ambient excitation is
+// quantized once per subframe at its natural block scale and shared
+// (read-only) by every tag; the carrier tracker, when present, is a float
+// stage — the received block is materialized for it and RXFxp is cleared,
+// since its output no longer corresponds to a Q1.15 block.
+func (s *Session) stepFxp() *Frame {
+	sf := s.Source.NextSubframe()
+	f := &Frame{
+		N:        s.n,
+		Subframe: sf,
+		Burst:    IsBurstSubframe(sf.Index),
+		Owner:    -1,
+		Start:    s.start,
+	}
+	s.n++
+	if len(s.Tags) > 0 {
+		f.Owner = 0
+		if s.Owner != nil {
+			f.Owner = s.Owner(f.N)
+		}
+	}
+	if s.Taps.Ambient != nil {
+		s.Taps.Ambient(f, sf.Samples)
+	}
+
+	amb := fxp.FromComplex(sf.Samples)
+	var paths []*fxp.Buf
+	if s.Direct != nil {
+		paths = append(paths, applyStageFxp(s.Direct, amb))
+	}
+	for i, t := range s.Tags {
+		var refl *fxp.Buf
+		switch {
+		case i == f.Owner:
+			if t.Feed != nil {
+				t.Feed(f.N, t.Mod)
+			}
+			if t.Jitter != nil && f.Burst {
+				t.Mod.SetTimingError(t.base() + t.Jitter.Next())
+			}
+			var recs []tag.SymbolRecord
+			refl, recs = t.Mod.ModulateSubframeFxp(amb, sf.Index, f.Burst)
+			f.Records = recs
+		case t.Park:
+			refl = t.Mod.ParkedSubframeFxp(amb)
+		default:
+			continue
+		}
+		if s.Taps.Reflected != nil {
+			s.Taps.Reflected(f, i, refl.ToComplex(nil))
+		}
+		if t.Path != nil {
+			refl = applyStageFxp(t.Path, refl)
+		}
+		paths = append(paths, refl)
+	}
+
+	if s.Link != nil {
+		f.RXFxp = s.Link.ReceiveFxp(paths...)
+		f.RX = f.RXFxp.ToComplex(nil)
+	} else {
+		f.RX = sf.Samples
+	}
+	if s.Tracker != nil {
+		f.RX, f.Reacquired = s.Tracker.Process(f.RX, f.Start)
+		f.RXFxp = nil
 	}
 
 	advance := true

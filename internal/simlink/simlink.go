@@ -20,10 +20,13 @@
 //   - Determinism. Stages draw randomness only from the rng.Source streams
 //     handed to them at construction, in a fixed per-subframe order (tag
 //     payload feed, per-burst jitter, path application, receiver noise,
-//     impairments). A Session is therefore bit-reproducible, and the engine
-//     deliberately has no asynchronous stages: goroutine fan-out would
-//     reorder RNG draws. Parallelism belongs one level up, across Sessions
-//     (see internal/experiments' worker pool).
+//     impairments). A Session is therefore bit-reproducible — at any level
+//     of parallelism: Session.RunParallel fans only the pure per-sample
+//     work out to workers, while every stateful stage and every RNG draw
+//     runs in subframe order on the coordinating goroutine (see
+//     parallel.go), so its results are bit-identical to the sequential Run.
+//     Coarser parallelism across independent Sessions remains one level up
+//     (internal/experiments' worker pool).
 //
 //   - Streaming with bounded buffers. A Session holds no history: each Step
 //     materializes one subframe's waveforms, hands them to the Sink, and
@@ -39,6 +42,16 @@
 // The stage taps (Taps) expose intermediate waveforms — the ambient
 // excitation, each tag's raw reflection — without perturbing the chain;
 // cmd/lscatter-iq and the interference-PSD experiment are tap consumers.
+//
+// The engine runs in one of two sample lanes (Session.Lane): the complex128
+// float lane is the conformance reference, and the Q1.15 fixed-point lane
+// (internal/fxp) carries block-scaled int16 buffers through the per-sample
+// stages at a fraction of the cost, drawing byte-identical RNG streams so
+// the lanes stay directly comparable. The Streamer (stream.go) goes one
+// step further for the fixed-gain transport core, precomputing per-unit
+// composite words so the steady-state loop is a select-and-add per four
+// samples; it is the engine behind the real-time-factor numbers in
+// docs/PERFORMANCE.md.
 package simlink
 
 import (

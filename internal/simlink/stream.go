@@ -1,0 +1,384 @@
+package simlink
+
+import (
+	"fmt"
+	"math"
+
+	"lscatter/internal/dsp"
+	"lscatter/internal/enodeb"
+	"lscatter/internal/fxp"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/rng"
+	"lscatter/internal/tag"
+)
+
+// The Streamer is the transport pipeline stripped to what has to happen per
+// sample — and then precomputed out of the per-sample loop. It models the
+// fixed-gain transport core of a Session: direct path + one DSB tag behind
+// fixed gains, path combining and receiver noise. For that chain every
+// received sample is one of exactly two values per basic-timing unit — the
+// phase-0 composite (direct + reflection) or its phase-pi counterpart
+// (direct - reflection) — plus noise. Both composites are quantized,
+// offset-binary packed and XOR-differenced once per ambient subframe at
+// construction; the steady-state loop then costs, per four samples, one
+// select-by-XOR, one carry-free add of pre-drawn noise lanes, and one store
+// (fxp.StreamSelectAdd). This is the engine behind the repository's
+// real-time-factor headline (docs/PERFORMANCE.md).
+//
+// Scope, explicitly: the Streamer trades generality for throughput and is a
+// transport-rate tool, not a replacement for Session. Its contractual
+// simplifications:
+//
+//   - DSB switching only, zero sub-unit sample offset (whole-unit timing
+//     error is supported — it shifts the packed plan).
+//   - Fixed scalar path gains (no multipath, fading or impairments).
+//   - The ambient excitation is one precomputed radio frame, repeated; LTE
+//     payload varies across the frame but not between frames.
+//   - Receiver noise comes from a pre-drawn cache-resident ring of clamped
+//     Gaussian lanes, reused cyclically — statistically white over a
+//     subframe but not freshly drawn per sample.
+//
+// The noiseless Streamer is sample-exact (within Q1.15 quantization)
+// against the float Session over the same ambient frame and payload; the
+// conformance tests pin that, and validate the noise ring statistically.
+type Streamer struct {
+	cfg      StreamConfig
+	p        ltephy.Params
+	units    int // basic-timing units per subframe
+	nBits    int // payload bits per modulated symbol
+	scale    float64
+	noiseMax int
+
+	ambient [][]complex128 // one precomputed radio frame
+	comps   []sfComposite  // per subframe index
+	plans   []sfPlan       // per subframe index
+
+	payload *rng.Source
+	noise   []uint64
+	np      int
+	sfn     int
+
+	phase    []uint64 // packed per-unit phase scratch
+	out      []uint64 // interleaved I,Q output words (two's-complement mantissas)
+	checksum uint64
+}
+
+// sfComposite holds one ambient subframe's precomputed selectable words:
+// c0 is the phase-0 composite in PackBiased form, d = c0 ^ c1. Layout is
+// interleaved per unit: word 2u carries the unit's four I mantissas, word
+// 2u+1 its four Q mantissas.
+type sfComposite struct {
+	c0, d []uint64
+}
+
+// sfPlan is one subframe index's packed modulation schedule: the template
+// carries the preamble (on burst subframes) with every other unit at phase
+// 0; payloadAt lists the unit positions where Next merges fresh payload
+// phase bits.
+type sfPlan struct {
+	template  []uint64
+	payloadAt []int
+}
+
+// StreamConfig parameterizes a Streamer.
+type StreamConfig struct {
+	// ENodeB configures the ambient source. Params.Oversample must be 4
+	// (the packed-word layout is four samples per word, one unit).
+	ENodeB enodeb.Config
+	// Tag is the modulator configuration. Mode must be DSB and SampleOffset
+	// 0; TimingErrorUnits shifts the packed plan by whole units.
+	Tag tag.ModConfig
+	// DirectGainDB is the eNodeB->UE direct path power gain (dB).
+	DirectGainDB float64
+	// TagGainDB is the tag->UE path power gain (dB), applied on top of the
+	// tag's reflection loss.
+	TagGainDB float64
+	// NoisePowerW is the receiver noise power in watts (0 = noiseless).
+	NoisePowerW float64
+	// Seed drives the payload bits and the noise ring.
+	Seed uint64
+}
+
+// noiseRingWords is the pre-drawn noise ring length: 32 KiB of packed
+// lanes, small enough to stay L1/L2-resident in the hot loop.
+const noiseRingWords = 1 << 12
+
+// NewStreamer precomputes the composites, plans and noise ring. It panics
+// on configurations outside the Streamer's documented scope.
+func NewStreamer(cfg StreamConfig) *Streamer {
+	p := cfg.ENodeB.Params
+	if cfg.Tag.Mode != tag.DSB {
+		panic("simlink: Streamer supports DSB switching only")
+	}
+	if cfg.Tag.SampleOffset != 0 {
+		panic("simlink: Streamer needs SampleOffset 0 (whole-unit timing error only)")
+	}
+	if p.Oversample != 4 {
+		panic(fmt.Sprintf("simlink: Streamer needs Oversample 4 (one packed word per unit), got %d", p.Oversample))
+	}
+	if cfg.Tag.Params.BW != p.BW || cfg.Tag.Params.Oversample != p.Oversample {
+		panic("simlink: Streamer tag numerology must match the eNodeB's")
+	}
+	st := &Streamer{
+		cfg:   cfg,
+		p:     p,
+		units: p.BW.SamplesPerSubframe(),
+		nBits: p.UsefulModulationUnits(),
+	}
+
+	// One radio frame of real ambient excitation.
+	enb := enodeb.New(cfg.ENodeB)
+	st.ambient = make([][]complex128, ltephy.SubframesPerFrame)
+	for i := range st.ambient {
+		st.ambient[i] = enb.NextSubframe().Samples
+	}
+
+	// Composite pair per sample: y0 = gD*amb + gR*amb*w, y1 = gD*amb - gR*amb*w,
+	// with w the DSB wave [+,+,-,-] over the unit.
+	loss := cfg.Tag.ReflectionLossDB
+	if loss == 0 {
+		loss = 6 // tag.NewModulator's default
+	}
+	gD := math.Pow(10, cfg.DirectGainDB/20)
+	gR := math.Sqrt(dsp.FromDB(-loss)) * math.Pow(10, cfg.TagGainDB/20)
+	n := st.units * p.Oversample
+	y0 := make([][]complex128, len(st.ambient))
+	y1 := make([][]complex128, len(st.ambient))
+	maxAbs := 0.0
+	for sf, amb := range st.ambient {
+		y0[sf] = make([]complex128, n)
+		y1[sf] = make([]complex128, n)
+		for s, v := range amb {
+			w := 1.0
+			if s%p.Oversample >= p.Oversample/2 {
+				w = -1
+			}
+			refl := v * complex(gR*w, 0)
+			dir := v * complex(gD, 0)
+			y0[sf][s] = dir + refl
+			y1[sf][s] = dir - refl
+			for _, c := range [2]complex128{y0[sf][s], y1[sf][s]} {
+				if a := math.Abs(real(c)); a > maxAbs {
+					maxAbs = a
+				}
+				if a := math.Abs(imag(c)); a > maxAbs {
+					maxAbs = a
+				}
+			}
+		}
+	}
+
+	// One global block scale: composite mantissas capped at half scale, then
+	// coarsened until the +/-4-sigma noise clamp fits in the remaining
+	// headroom (the PackBiased carry-free contract).
+	sigma := 0.0
+	if cfg.NoisePowerW > 0 {
+		sigma = math.Sqrt(cfg.NoisePowerW / 2)
+	} else if cfg.NoisePowerW < 0 || math.IsNaN(cfg.NoisePowerW) || math.IsInf(cfg.NoisePowerW, 0) {
+		panic(fmt.Sprintf("simlink: Streamer noise power %v W must be finite and >= 0", cfg.NoisePowerW))
+	}
+	scale := 1.0
+	if maxAbs > 0 {
+		scale = 2 * pow2CeilStream(maxAbs)
+	}
+	for {
+		mantMax := int(math.Ceil(maxAbs / scale * fxp.One))
+		clamp := int(math.Ceil(4 * sigma / scale * fxp.One))
+		if mantMax+clamp <= fxp.MaxMant {
+			st.noiseMax = clamp
+			break
+		}
+		scale *= 2
+	}
+	st.scale = scale
+
+	// Quantize, pack, difference.
+	st.comps = make([]sfComposite, len(st.ambient))
+	mant0 := make([]int16, n)
+	mant1 := make([]int16, n)
+	inv := 1 / scale
+	for sf := range st.ambient {
+		for s := range y0[sf] {
+			mant0[s] = fxp.QuantQ15(real(y0[sf][s]) * inv)
+			mant1[s] = fxp.QuantQ15(real(y1[sf][s]) * inv)
+		}
+		c0 := make([]uint64, 2*st.units)
+		c1 := make([]uint64, 2*st.units)
+		packInterleavedI := func(dst []uint64, mant []int16) {
+			tmp := make([]uint64, st.units)
+			fxp.PackBiased(tmp, mant, st.noiseMax)
+			for u := 0; u < st.units; u++ {
+				dst[2*u] = tmp[u]
+			}
+		}
+		packInterleavedQ := func(dst []uint64, mant []int16) {
+			tmp := make([]uint64, st.units)
+			fxp.PackBiased(tmp, mant, st.noiseMax)
+			for u := 0; u < st.units; u++ {
+				dst[2*u+1] = tmp[u]
+			}
+		}
+		packInterleavedI(c0, mant0)
+		packInterleavedI(c1, mant1)
+		for s := range y0[sf] {
+			mant0[s] = fxp.QuantQ15(imag(y0[sf][s]) * inv)
+			mant1[s] = fxp.QuantQ15(imag(y1[sf][s]) * inv)
+		}
+		packInterleavedQ(c0, mant0)
+		packInterleavedQ(c1, mant1)
+		d := make([]uint64, len(c0))
+		for k := range d {
+			d[k] = c0[k] ^ c1[k]
+		}
+		st.comps[sf] = sfComposite{c0: c0, d: d}
+	}
+
+	// Packed plans: the schedule is deterministic per subframe index (bursts
+	// open in subframes 0 and 5), so the preamble and idle structure bake
+	// into a template and only payload words are merged per subframe.
+	phaseWords := (st.units + 63) / 64
+	st.plans = make([]sfPlan, ltephy.SubframesPerFrame)
+	shift := cfg.Tag.TimingErrorUnits
+	for sf := range st.plans {
+		pl := sfPlan{template: make([]uint64, phaseWords)}
+		windows := tag.DataWindows(p, sf)
+		burst := IsBurstSubframe(sf)
+		for i, w0 := range windows {
+			pos := w0 + shift
+			if pos < 0 || pos+st.nBits > st.units {
+				panic(fmt.Sprintf("simlink: Streamer timing error %d units pushes symbol window [%d,%d) outside the subframe", shift, pos, pos+st.nBits))
+			}
+			if burst && i == 0 {
+				for k, b := range tag.PreambleFor(cfg.Tag.ID, st.nBits) {
+					if b == 0 { // data '0' -> phase pi -> packed bit 1
+						pl.template[(pos+k)>>6] |= 1 << uint((pos+k)&63)
+					}
+				}
+				continue
+			}
+			pl.payloadAt = append(pl.payloadAt, pos)
+		}
+		st.plans[sf] = pl
+	}
+
+	base := rng.New(cfg.Seed)
+	noiseSrc := base.Fork(1)
+	st.payload = base.Fork(2)
+	sigmaMant := 0.0
+	if sigma > 0 {
+		sigmaMant = sigma / scale * fxp.One
+	}
+	st.noise = fxp.NewNoiseTable(noiseSrc, noiseRingWords, sigmaMant, st.noiseMax)
+	st.phase = make([]uint64, phaseWords)
+	st.out = make([]uint64, 2*st.units)
+	return st
+}
+
+// pow2CeilStream returns the smallest power of two >= x (x positive finite).
+func pow2CeilStream(x float64) float64 {
+	p := math.Ldexp(1, int(math.Ceil(math.Log2(x))))
+	for p < x {
+		p *= 2
+	}
+	for p/2 >= x {
+		p /= 2
+	}
+	return p
+}
+
+// Scale returns the global Q1.15 block scale of the produced stream.
+func (st *Streamer) Scale() float64 { return st.scale }
+
+// SubframeSamples returns the oversampled sample count per subframe.
+func (st *Streamer) SubframeSamples() int { return st.units * st.p.Oversample }
+
+// Subframes returns how many subframes the streamer has produced.
+func (st *Streamer) Subframes() int { return st.sfn }
+
+// Ambient returns the precomputed ambient excitation of subframe index idx
+// (0..9). The slice is owned by the Streamer; treat it as read-only. The
+// conformance tests replay it through a float Session.
+func (st *Streamer) Ambient(idx int) []complex128 { return st.ambient[idx] }
+
+// Checksum folds a token of every produced subframe, so a benchmark loop
+// over Next cannot be optimized away.
+func (st *Streamer) Checksum() uint64 { return st.checksum }
+
+// insertBits merges n payload phase bits at packed position pos, drawing
+// from src word-wise (each draw fills up to the next word boundary). When
+// collect is non-nil the equivalent data bits are appended to it — the
+// conformance path; Next passes nil and pays nothing.
+func insertBits(dst []uint64, pos, n int, src *rng.Source, collect *[]byte) {
+	for n > 0 {
+		j := pos >> 6
+		s := uint(pos & 63)
+		take := 64 - int(s)
+		if take > n {
+			take = n
+		}
+		w := src.Uint64()
+		if take < 64 {
+			w &= 1<<uint(take) - 1
+		}
+		dst[j] |= w << s
+		if collect != nil {
+			for k := 0; k < take; k++ {
+				// packed bit 1 = phase pi = data bit 0
+				*collect = append(*collect, byte(1-(w>>uint(k))&1))
+			}
+		}
+		pos += take
+		n -= take
+	}
+}
+
+// step produces one subframe into st.out (interleaved I,Q mantissa words;
+// StreamSelectAdd fuses the unbias, so the words hold plain two's-complement
+// mantissas). collectBits, when non-nil, receives the payload data bits
+// symbol by symbol.
+func (st *Streamer) step(collectBits *[][]byte) int {
+	sfIdx := st.sfn % ltephy.SubframesPerFrame
+	st.sfn++
+	pl := &st.plans[sfIdx]
+	copy(st.phase, pl.template)
+	for _, pos := range pl.payloadAt {
+		var sym *[]byte
+		if collectBits != nil {
+			*collectBits = append(*collectBits, make([]byte, 0, st.nBits))
+			sym = &(*collectBits)[len(*collectBits)-1]
+		}
+		insertBits(st.phase, pos, st.nBits, st.payload, sym)
+	}
+	comp := &st.comps[sfIdx]
+	// The +1 stride decorrelates the ring phase across subframes (a
+	// subframe consumes a multiple of the ring length).
+	st.np = fxp.StreamSelectAdd(st.out, comp.c0, comp.d, st.phase, st.noise, st.np) + 1
+	st.checksum ^= st.out[0] + 0x9e3779b97f4a7c15*uint64(st.sfn) ^ st.out[len(st.out)-1]
+	return sfIdx
+}
+
+// Next produces the next subframe and returns its interleaved I,Q packed
+// mantissa words (word 2u = I lanes of unit u, word 2u+1 = Q lanes). The
+// slice is reused by the following call. This is the timed hot loop of the
+// real-time-factor benchmark.
+func (st *Streamer) Next() []uint64 {
+	st.step(nil)
+	return st.out
+}
+
+// Materialize produces the next subframe as a Q1.15 buffer plus the payload
+// data bits of each modulated symbol (in schedule order, preamble
+// excluded). It allocates per call and exists for the conformance tests and
+// for feeding the produced stream onward (e.g. into the demodulator); the
+// timed loop uses Next.
+func (st *Streamer) Materialize() (sfIdx int, rx *fxp.Buf, bits [][]byte) {
+	sfIdx = st.step(&bits)
+	rx = fxp.New(st.SubframeSamples())
+	rx.Scale = st.scale
+	iw, qw := rx.IWords(), rx.QWords()
+	for u := 0; u < st.units; u++ {
+		iw[u] = st.out[2*u]
+		qw[u] = st.out[2*u+1]
+	}
+	return sfIdx, rx, bits
+}

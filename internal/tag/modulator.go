@@ -167,18 +167,44 @@ func windowStartUnit(p ltephy.Params, l int) int {
 	return cp + (useful-p.UsefulModulationUnits())/2
 }
 
-// ModulateSubframe reflects one subframe of ambient samples. ambient must be
-// aligned to the true subframe boundary and hold exactly one subframe. The
-// tag's own timing error is applied internally. startBurst begins a new
-// burst: the first modulated symbol carries the preamble. The returned
-// records list what each symbol carried.
-func (m *Modulator) ModulateSubframe(ambient []complex128, subframe int, startBurst bool) ([]complex128, []SymbolRecord) {
+// DataWindows returns, for each data symbol of the subframe (in DataSymbols
+// order), the first basic-timing unit of its useful-modulation window
+// relative to the subframe start. It is PlanSubframe's schedule arithmetic
+// exposed for consumers that pack modulation plans without a Modulator (the
+// simlink streamer).
+func DataWindows(p ltephy.Params, subframe int) []int {
+	ov := p.Oversample
+	var out []int
+	for _, l := range DataSymbols(subframe) {
+		out = append(out, ltephy.SymbolStart(p, l)/ov+windowStartUnit(p, l))
+	}
+	return out
+}
+
+// Plan is one subframe's modulation schedule, captured before the waveform
+// is touched: the per-unit switch phase, the symbol records, and the timing
+// shift in effect at planning time. Splitting planning (which consumes
+// payload bits and mutates modulator state) from waveform application
+// (which is a pure function of ambient + Plan) is what lets the
+// subframe-parallel runner fan the per-sample work out to workers while the
+// bit queue advances strictly in order.
+type Plan struct {
+	// Phase is the per-unit switch phase in the tag's local clock:
+	// false = 0, true = pi.
+	Phase []bool
+	// Records lists what each modulated symbol carried.
+	Records []SymbolRecord
+	// Shift is the waveform shift in oversampled samples
+	// (TimingErrorUnits*Oversample + SampleOffset) captured at plan time.
+	Shift int
+}
+
+// PlanSubframe builds the modulation schedule for one subframe, consuming
+// payload bits from the queue exactly as ModulateSubframe would. startBurst
+// begins a new burst: the first modulated symbol carries the preamble.
+func (m *Modulator) PlanSubframe(subframe int, startBurst bool) Plan {
 	p := m.cfg.Params
 	ov := p.Oversample
-	need := ov * p.BW.SamplesPerSubframe()
-	if len(ambient) != need {
-		panic(fmt.Sprintf("tag: subframe needs %d samples, got %d", need, len(ambient)))
-	}
 	// Build the per-unit phase schedule for the whole subframe in the tag's
 	// local clock. true switch-phase per unit: false=0, true=pi.
 	unitsPerSubframe := p.BW.SamplesPerSubframe()
@@ -213,10 +239,27 @@ func (m *Modulator) ModulateSubframe(ambient []complex128, subframe int, startBu
 		}
 		records = append(records, SymbolRecord{Symbol: l, Bits: symBits, IsPreamble: isPre})
 	}
-	// Apply the switch waveform with the tag's timing error.
+	return Plan{
+		Phase:   phase,
+		Records: records,
+		Shift:   m.cfg.TimingErrorUnits*ov + m.cfg.SampleOffset,
+	}
+}
+
+// ApplyPlan applies the switch waveform of a captured Plan to one subframe
+// of ambient samples: a pure function of its inputs, safe to run
+// concurrently with planning of later subframes.
+func (m *Modulator) ApplyPlan(ambient []complex128, pl Plan) []complex128 {
+	p := m.cfg.Params
+	ov := p.Oversample
+	need := ov * p.BW.SamplesPerSubframe()
+	if len(ambient) != need {
+		panic(fmt.Sprintf("tag: subframe needs %d samples, got %d", need, len(ambient)))
+	}
+	unitsPerSubframe := p.BW.SamplesPerSubframe()
 	out := make([]complex128, len(ambient))
 	ampA := complex(math.Sqrt(dsp.FromDB(-m.cfg.ReflectionLossDB)), 0)
-	shift := m.cfg.TimingErrorUnits*ov + m.cfg.SampleOffset
+	shift := pl.Shift
 	wave := switchWave(p.Oversample, m.cfg.Mode)
 	for s := range ambient {
 		local := s - shift
@@ -228,14 +271,30 @@ func (m *Modulator) ModulateSubframe(ambient []complex128, subframe int, startBu
 			u := local / ov
 			mIdx := local % ov
 			ph := 0
-			if u < unitsPerSubframe && phase[u] {
+			if u < unitsPerSubframe && pl.Phase[u] {
 				ph = 1
 			}
 			w = wave[mIdx][ph]
 		}
 		out[s] = ambient[s] * w * ampA
 	}
-	return out, records
+	return out
+}
+
+// ModulateSubframe reflects one subframe of ambient samples. ambient must be
+// aligned to the true subframe boundary and hold exactly one subframe. The
+// tag's own timing error is applied internally. startBurst begins a new
+// burst: the first modulated symbol carries the preamble. The returned
+// records list what each symbol carried. Equivalent to PlanSubframe followed
+// by ApplyPlan.
+func (m *Modulator) ModulateSubframe(ambient []complex128, subframe int, startBurst bool) ([]complex128, []SymbolRecord) {
+	p := m.cfg.Params
+	need := p.Oversample * p.BW.SamplesPerSubframe()
+	if len(ambient) != need {
+		panic(fmt.Sprintf("tag: subframe needs %d samples, got %d", need, len(ambient)))
+	}
+	pl := m.PlanSubframe(subframe, startBurst)
+	return m.ApplyPlan(ambient, pl), pl.Records
 }
 
 // switchWave precomputes the switch waveform over one unit period:

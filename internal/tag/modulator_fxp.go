@@ -1,0 +1,97 @@
+package tag
+
+import (
+	"fmt"
+	"math"
+
+	"lscatter/internal/dsp"
+	"lscatter/internal/fxp"
+)
+
+// ApplyPlanFxp is the fixed-point lane of ApplyPlan: it applies a captured
+// Plan's switch waveform to a Q1.15 ambient block. The reflection amplitude
+// folds into the output block scale, so the per-sample work is a saturating
+// sign flip for DSB (the hot case) or a Q1.15 rotation for SSB. Like
+// ApplyPlan it is a pure function of its inputs.
+func (m *Modulator) ApplyPlanFxp(ambient *fxp.Buf, pl Plan) *fxp.Buf {
+	p := m.cfg.Params
+	ov := p.Oversample
+	need := ov * p.BW.SamplesPerSubframe()
+	if ambient.Len() != need {
+		panic(fmt.Sprintf("tag: subframe needs %d samples, got %d", need, ambient.Len()))
+	}
+	units := p.BW.SamplesPerSubframe()
+	out := fxp.New(ambient.Len())
+	out.Scale = ambient.Scale * math.Sqrt(dsp.FromDB(-m.cfg.ReflectionLossDB))
+	shift := pl.Shift
+
+	switch m.cfg.Mode {
+	case DSB:
+		// wave[m][0] is +1 for the first half-unit, -1 for the second;
+		// phase pi flips it. Negation saturates (-32768 -> 32767), matching
+		// the symmetric quantizer.
+		for s := 0; s < ambient.Len(); s++ {
+			local := s - shift
+			var neg bool
+			if local < 0 {
+				neg = ((local%ov)+ov)%ov >= ov/2
+			} else {
+				neg = local%ov >= ov/2
+				if u := local / ov; u < units && pl.Phase[u] {
+					neg = !neg
+				}
+			}
+			if neg {
+				out.I[s] = fxp.SatSub(0, ambient.I[s])
+				out.Q[s] = fxp.SatSub(0, ambient.Q[s])
+			} else {
+				out.I[s] = ambient.I[s]
+				out.Q[s] = ambient.Q[s]
+			}
+		}
+	case SSB:
+		// Quantize the ov unit phasors (and their phase-pi negations) once.
+		wave := switchWave(ov, SSB)
+		type q15c struct{ re, im int16 }
+		tab := make([][2]q15c, ov)
+		for mi := 0; mi < ov; mi++ {
+			for ph := 0; ph < 2; ph++ {
+				w := wave[mi][ph]
+				tab[mi][ph] = q15c{fxp.QuantQ15(real(w)), fxp.QuantQ15(imag(w))}
+			}
+		}
+		for s := 0; s < ambient.Len(); s++ {
+			local := s - shift
+			var c q15c
+			if local < 0 {
+				c = tab[((local%ov)+ov)%ov][0]
+			} else {
+				mIdx := local % ov
+				ph := 0
+				if u := local / ov; u < units && pl.Phase[u] {
+					ph = 1
+				}
+				c = tab[mIdx][ph]
+			}
+			out.I[s], out.Q[s] = fxp.RotateSample(ambient.I[s], ambient.Q[s], c.re, c.im)
+		}
+	}
+	return out
+}
+
+// ModulateSubframeFxp is the fixed-point lane of ModulateSubframe: it
+// consumes the same bit queue and produces the same records, applying the
+// waveform in Q1.15. Equivalent to PlanSubframe followed by ApplyPlanFxp.
+func (m *Modulator) ModulateSubframeFxp(ambient *fxp.Buf, subframe int, startBurst bool) (*fxp.Buf, []SymbolRecord) {
+	pl := m.PlanSubframe(subframe, startBurst)
+	return m.ApplyPlanFxp(ambient, pl), pl.Records
+}
+
+// ParkedSubframeFxp is the fixed-point lane of ParkedSubframe. The parked
+// echo is a pure attenuation, which the block-scale representation absorbs
+// without touching a sample: the result is a read-only scaled view of the
+// ambient block.
+func (m *Modulator) ParkedSubframeFxp(ambient *fxp.Buf) *fxp.Buf {
+	const parkLossDB = 10
+	return ambient.ScaledView(math.Sqrt(dsp.FromDB(-m.cfg.ReflectionLossDB - parkLossDB)))
+}

@@ -1,0 +1,84 @@
+package tag
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"lscatter/internal/fxp"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/rng"
+)
+
+// randAmbient synthesizes a bounded random ambient block — the modulator is
+// agnostic to the waveform's structure, so white samples exercise it fully.
+func randAmbient(r *rng.Source, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = r.Complex(0.2)
+	}
+	return x
+}
+
+// TestModulateSubframeFxpMatchesFloat pins the fixed-point modulator lane
+// against the float reference in both switching modes: identical records
+// (same bit consumption) and sample agreement within a few mantissa steps.
+// The bound breakdown — input quantization, Q1.15 phasor quantization (SSB),
+// rotation rounding — is part of the docs/PERFORMANCE.md error budget.
+func TestModulateSubframeFxpMatchesFloat(t *testing.T) {
+	p := ltephy.DefaultParams(ltephy.BW1_4)
+	n := p.Oversample * p.BW.SamplesPerSubframe()
+	for _, mode := range []Mode{DSB, SSB} {
+		mkMod := func() *Modulator {
+			m := NewModulator(ModConfig{Params: p, Mode: mode, ID: 3, TimingErrorUnits: 2, SampleOffset: 1})
+			m.QueueBits(rng.New(8).Bits(make([]byte, 40*m.PerSymbolBits())))
+			return m
+		}
+		mf, mx := mkMod(), mkMod()
+		r := rng.New(5)
+		for sf := 0; sf < 3; sf++ {
+			amb := randAmbient(r, n)
+			ab := fxp.FromComplex(amb)
+			want, recF := mf.ModulateSubframe(amb, sf, sf == 0)
+			got, recX := mx.ModulateSubframeFxp(ab, sf, sf == 0)
+
+			if len(recF) != len(recX) {
+				t.Fatalf("%v sf %d: %d fxp records, float %d", mode, sf, len(recX), len(recF))
+			}
+			for i := range recF {
+				if recF[i].Symbol != recX[i].Symbol || !bytes.Equal(recF[i].Bits, recX[i].Bits) {
+					t.Fatalf("%v sf %d: record %d diverged — the lanes must consume the bit queue identically", mode, sf, i)
+				}
+			}
+			// Input quantization (half a step at the ambient scale) carried
+			// through a unit-magnitude switch, plus Q1.15 phasor quantization
+			// and rotation rounding in SSB.
+			tol := 3 * ab.Scale / 32768
+			for s := range want {
+				g := got.At(s)
+				if math.Abs(real(g)-real(want[s])) > tol || math.Abs(imag(g)-imag(want[s])) > tol {
+					t.Fatalf("%v sf %d sample %d: fxp %v, float %v (tol %g)", mode, sf, s, g, want[s], tol)
+				}
+			}
+		}
+	}
+}
+
+// TestParkedSubframeFxpMatchesFloat pins the parked echo: a pure attenuation
+// that the block scale absorbs exactly, so only the ambient quantization
+// remains.
+func TestParkedSubframeFxpMatchesFloat(t *testing.T) {
+	p := ltephy.DefaultParams(ltephy.BW1_4)
+	m := NewModulator(ModConfig{Params: p, Mode: DSB})
+	amb := randAmbient(rng.New(6), p.Oversample*p.BW.SamplesPerSubframe())
+	ab := fxp.FromComplex(amb)
+	want := m.ParkedSubframe(amb)
+	got := m.ParkedSubframeFxp(ab)
+	tol := got.Scale / 32768
+	for s := range want {
+		g := got.At(s)
+		if math.Abs(real(g)-real(want[s])) > tol || math.Abs(imag(g)-imag(want[s])) > tol {
+			t.Fatalf("sample %d: fxp %v, float %v (tol %g)", s, g, want[s], tol)
+		}
+	}
+}

@@ -345,9 +345,15 @@ func (d *ScatterDemod) windowStartUnitInSymbol() int {
 // rx must hold one subframe of received samples aligned to the boundary;
 // refSamples is the regenerated clean excitation from the LTE receiver.
 func (d *ScatterDemod) AcquireBurst(rx, refSamples []complex128, subframe, startSample int) *ScatterResult {
-	p := d.cfg.Params
 	d.checkInputs(rx, refSamples, subframe)
-	z := d.downshift(rx, startSample)
+	return d.acquireBurstZ(d.downshift(rx, startSample), refSamples, subframe)
+}
+
+// acquireBurstZ is the lane-independent core of AcquireBurst, operating on
+// the already-downshifted subframe z (both the float and fixed-point entry
+// points land here).
+func (d *ScatterDemod) acquireBurstZ(z, refSamples []complex128, subframe int) *ScatterResult {
+	p := d.cfg.Params
 	syms := modulatedSymbols(subframe)
 	preSym := syms[0]
 	hyb := d.hybridTime(d.scrHyb, z, preSym, false)
@@ -484,13 +490,18 @@ func modulatedSymbols(subframe int) []int { return tag.DataSymbols(subframe) }
 // state from the last AcquireBurst. skipFirst drops the first modulated
 // symbol (the preamble) — set it on burst-opening subframes.
 func (d *ScatterDemod) DemodSubframe(rx, refSamples []complex128, subframe, startSample int, skipFirst bool) *ScatterResult {
-	res := &ScatterResult{Synced: d.haveSync, OffsetUnits: d.offset}
 	if !d.haveSync {
-		return res
+		return &ScatterResult{Synced: false, OffsetUnits: d.offset}
 	}
-	p := d.cfg.Params
 	d.checkInputs(rx, refSamples, subframe)
-	z := d.downshift(rx, startSample)
+	return d.demodSubframeZ(d.downshift(rx, startSample), refSamples, subframe, skipFirst)
+}
+
+// demodSubframeZ is the lane-independent core of DemodSubframe (the caller
+// has checked sync and inputs and performed the downshift).
+func (d *ScatterDemod) demodSubframeZ(z, refSamples []complex128, subframe int, skipFirst bool) *ScatterResult {
+	res := &ScatterResult{Synced: d.haveSync, OffsetUnits: d.offset}
+	p := d.cfg.Params
 	nBits := p.UsefulModulationUnits()
 	w0 := d.windowStartUnitInSymbol() + d.offset
 	syms := modulatedSymbols(subframe)

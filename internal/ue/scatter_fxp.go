@@ -1,0 +1,76 @@
+package ue
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"lscatter/internal/fxp"
+	"lscatter/internal/ltephy"
+)
+
+// This file is the backscatter demodulator's fixed-point front end. The
+// demodulator's heavy math (FFTs, channel estimation, Eq. 7 refinement) is
+// float and stays float — it runs per symbol, not per sample, and is where
+// the numerical headroom matters. What the fixed-point lane buys here is
+// the one per-sample pass the receiver makes over the raw block: the
+// downshift that moves the backscatter sideband to baseband. The fxp entry
+// points fuse Q1.15 conversion and mixing into a single table-driven pass
+// (the mixer phasor has only Oversample distinct values per block scale),
+// so a fixed-point session never materializes an intermediate complex128
+// copy of the receive buffer.
+
+// checkInputsFxp mirrors checkInputs for a Q1.15 receive block.
+func (d *ScatterDemod) checkInputsFxp(rx *fxp.Buf, refSamples []complex128, subframe int) {
+	p := d.cfg.Params
+	need := p.Oversample * p.BW.SamplesPerSubframe()
+	if rx.Len() != need {
+		panic(fmt.Sprintf("ue: rx holds %d samples, a %s subframe needs %d", rx.Len(), p.BW, need))
+	}
+	if len(refSamples) != need {
+		panic(fmt.Sprintf("ue: reference holds %d samples, want %d", len(refSamples), need))
+	}
+	if subframe < 0 || subframe >= ltephy.SubframesPerFrame {
+		panic(fmt.Sprintf("ue: subframe %d out of [0,10)", subframe))
+	}
+}
+
+// downshiftFxp fills the z scratch from a Q1.15 block, fusing the
+// mantissa-to-float conversion with the +1/Ts downshift. The mixer phasor
+// exp(-j*2*pi*m/ov) takes only ov values, so the block scale and the phasor
+// collapse into one ov-entry table; each sample costs one table lookup and
+// one real 2x2 rotation.
+func (d *ScatterDemod) downshiftFxp(x *fxp.Buf, startSample int) []complex128 {
+	ov := d.cfg.Params.Oversample
+	out := d.scrZ[:x.Len()]
+	k := x.Scale / float64(fxp.One)
+	tab := make([]complex128, ov)
+	for m := 0; m < ov; m++ {
+		ph := -2 * math.Pi * float64(m) / float64(ov)
+		tab[m] = complex(k, 0) * cmplx.Exp(complex(0, ph))
+	}
+	xi, xq := x.I, x.Q
+	for i := range xi {
+		c := tab[(startSample+i)%ov]
+		a, b := float64(xi[i]), float64(xq[i])
+		out[i] = complex(a*real(c)-b*imag(c), a*imag(c)+b*real(c))
+	}
+	return out
+}
+
+// AcquireBurstFxp is the fixed-point lane of AcquireBurst: identical burst
+// acquisition on a Q1.15 receive block.
+func (d *ScatterDemod) AcquireBurstFxp(rx *fxp.Buf, refSamples []complex128, subframe, startSample int) *ScatterResult {
+	d.checkInputsFxp(rx, refSamples, subframe)
+	return d.acquireBurstZ(d.downshiftFxp(rx, startSample), refSamples, subframe)
+}
+
+// DemodSubframeFxp is the fixed-point lane of DemodSubframe: identical
+// demodulation on a Q1.15 receive block.
+func (d *ScatterDemod) DemodSubframeFxp(rx *fxp.Buf, refSamples []complex128, subframe, startSample int, skipFirst bool) *ScatterResult {
+	if !d.haveSync {
+		return &ScatterResult{Synced: false, OffsetUnits: d.offset}
+	}
+	d.checkInputsFxp(rx, refSamples, subframe)
+	return d.demodSubframeZ(d.downshiftFxp(rx, startSample), refSamples, subframe, skipFirst)
+}

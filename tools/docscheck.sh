@@ -1,8 +1,14 @@
 #!/bin/sh
-# docscheck.sh verifies that every Go package in the module carries a package
-# doc comment: at least one file per package must open with a "// Package <x>"
-# (libraries) or "// Command <x>" (main packages) comment line. This keeps the
-# docs tree in docs/ and the in-source documentation from drifting apart.
+# docscheck.sh verifies two invariants of the documentation tree:
+#
+#   1. Every Go package in the module carries a package doc comment: at least
+#      one file per package must open with a "// Package <x>" (libraries) or
+#      "// Command <x>" (main packages) comment line.
+#   2. Every docs/*.md file is reachable from README.md — mentioned by its
+#      "docs/<NAME>.md" path either in the README itself or in another docs
+#      page the README reaches, transitively (the repo's docs reference each
+#      other by path, in prose or links). An orphaned page is documentation
+#      nobody will find.
 #
 # Usage: sh tools/docscheck.sh   (or: make docs-check)
 set -eu
@@ -36,3 +42,40 @@ if [ -n "$bad" ]; then
 fi
 
 echo "docscheck: OK — every package documents itself"
+
+# --- docs/*.md reachability ---------------------------------------------
+# Breadth-first walk starting from README.md: a docs page counts as reachable
+# when some reached page mentions its "docs/<NAME>.md" path (prose mention or
+# markdown link — the repo's docs cite each other by path either way).
+frontier="README.md"
+reached=""
+while [ -n "$frontier" ]; do
+    next=""
+    for page in $frontier; do
+        [ -f "$page" ] || continue
+        case " $reached " in *" $page "*) continue ;; esac
+        reached="$reached $page"
+        for t in $(grep -oE 'docs/[A-Za-z0-9_.-]+\.md' "$page" 2>/dev/null | sort -u); do
+            [ -f "$t" ] && next="$next $t"
+        done
+    done
+    frontier="$next"
+done
+
+orphans=""
+for f in docs/*.md; do
+    [ -f "$f" ] || continue
+    case " $reached " in
+        *" $f "*) ;;
+        *) orphans="$orphans $f" ;;
+    esac
+done
+
+if [ -n "$orphans" ]; then
+    echo "docscheck: docs pages not reachable from README.md:" >&2
+    for f in $orphans; do echo "  $f" >&2; done
+    echo "docscheck: FAILED — link each page from README.md or from a page the README links" >&2
+    exit 1
+fi
+
+echo "docscheck: OK — every docs/*.md page is reachable from README.md"

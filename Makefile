@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench bench-compare rtf rtf-check figures examples examples-check cover clean
+.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench bench-compare rtf rtf-check figures examples examples-check served-check cover clean
 
 all: vet test
 
 # The full gate a PR must pass: vet, the suite under the race detector, the
-# doc-comment check, the example-stdout goldens and the real-time-factor
-# regression gate. Run it before pushing.
-ci: vet race docs-check examples-check rtf-check
+# doc-comment check, the example-stdout goldens, the real-time-factor
+# regression gate and the server end-to-end smoke. Run it before pushing.
+ci: vet race docs-check examples-check rtf-check served-check
 
 test:
 	$(GO) test ./...
@@ -37,6 +37,7 @@ fuzz-smoke:
 	$(GO) test ./internal/scatterframe -run='^$$' -fuzz=FuzzDecodeSoft -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/dsp -run='^$$' -fuzz=FuzzCorrelatorEquivalence -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/fxp -run='^$$' -fuzz=FuzzFxpRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzSpecDecode -fuzztime=$(FUZZTIME)
 
 # Regenerate the golden conformance vectors (testdata/*.json) after an
 # intentional waveform or RNG change; review the diff like code.
@@ -89,6 +90,13 @@ examples:
 # `go test -run TestExampleStdout -update .` and review the diff.
 examples-check:
 	$(GO) test -run TestExampleStdout -count=1 .
+
+# End-to-end smoke of the deployment-simulation server binary: build it,
+# launch on an ephemeral port, healthz + one tiny run over real TCP, then a
+# SIGTERM graceful-drain exit (see docs/SERVING.md).
+served-check:
+	$(GO) build -o bin/lscatter-served ./cmd/lscatter-served
+	$(GO) run ./tools/servedcheck -bin bin/lscatter-served
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,411 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"lscatter/internal/experiments"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle: Queued -> Running -> one of Done/Failed/Canceled. A
+// cache-hit submission is born Done.
+const (
+	Queued   State = "queued"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// Errors Submit returns when the service cannot take the job. Handlers map
+// them to 503 and 429 respectively.
+var (
+	ErrShuttingDown = errors.New("serve: shutting down")
+	ErrQueueFull    = errors.New("serve: job queue full")
+)
+
+// Job is one submitted deployment run. All mutable fields are guarded by
+// mu; handlers read through Status and Results.
+type Job struct {
+	mu sync.Mutex
+
+	id       string
+	spec     *Spec // normalized
+	key      Key
+	state    State
+	cacheHit bool
+	done     int
+	total    int
+	err      string
+	body     []byte
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	finished chan struct{}
+}
+
+// JobStatus is the wire snapshot of a job, served at GET /v1/runs/{id}.
+type JobStatus struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	SpecHash string `json:"spec_hash"`
+	Seed     uint64 `json:"seed"`
+	CacheHit bool   `json:"cache_hit"`
+	Done     int    `json:"progress_done"`
+	Total    int    `json:"progress_total"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:       j.id,
+		State:    j.state,
+		SpecHash: j.key.SpecHash,
+		Seed:     j.key.Seed,
+		CacheHit: j.cacheHit,
+		Done:     j.done,
+		Total:    j.total,
+		Error:    j.err,
+	}
+}
+
+// Results returns the finished result body, or false while the job has not
+// completed successfully.
+func (j *Job) Results() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Done {
+		return nil, false
+	}
+	return j.body, true
+}
+
+// Finished returns a channel closed when the job reaches a terminal state.
+func (j *Job) Finished() <-chan struct{} { return j.finished }
+
+func (j *Job) setProgress(done, total int) {
+	j.mu.Lock()
+	j.done, j.total = done, total
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state exactly once, reporting whether
+// this call made the transition (so lifecycle counters count once even when
+// a cancel races the worker).
+func (j *Job) finish(state State, body []byte, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == Done || j.state == Failed || j.state == Canceled {
+		return false
+	}
+	j.state = state
+	j.body = body
+	j.err = errMsg
+	close(j.finished)
+	return true
+}
+
+// Counters is the manager's observability snapshot, served at /metricsz.
+// CacheHits counts submissions answered from the artifact store; Computed
+// counts deployments that actually ran to completion — the e2e harness pins
+// the caching contract on the difference.
+type Counters struct {
+	Submitted uint64 `json:"submitted"`
+	CacheHits uint64 `json:"cache_hits"`
+	Started   uint64 `json:"started"`
+	Computed  uint64 `json:"computed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Workers is the number of concurrent jobs (default 2).
+	Workers int
+	// QueueDepth bounds the backlog of queued jobs (default 64); beyond it
+	// Submit returns ErrQueueFull.
+	QueueDepth int
+	// StoreEntries bounds the artifact store (default 256).
+	StoreEntries int
+	// JobWorkers is the per-job tag-evaluation parallelism (default 4). It
+	// never affects results: the deployment runner is deterministic at any
+	// worker count.
+	JobWorkers int
+}
+
+// Manager owns the job queue, the worker pool and the artifact store. It is
+// the service's only stateful component; handlers are a thin HTTP skin over
+// it.
+type Manager struct {
+	opts  Options
+	store *Store
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	nextID   uint64
+	counters Counters
+	closed   bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+}
+
+// NewManager starts a manager with its worker pool.
+func NewManager(opts Options) *Manager {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.JobWorkers <= 0 {
+		opts.JobWorkers = 4
+	}
+	m := &Manager{
+		opts:  opts,
+		store: NewStore(opts.StoreEntries),
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, opts.QueueDepth),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Store exposes the artifact store (read-only use: stats, tests).
+func (m *Manager) Store() *Store { return m.store }
+
+// Counters snapshots the manager counters.
+func (m *Manager) Counters() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters
+}
+
+// Submit validates nothing — the caller passes a normalized spec — and
+// either answers from the artifact store (a Done job born with the cached
+// body) or enqueues a new run. The job is registered either way, so the
+// lifecycle endpoints work identically for hits and misses.
+//
+// The whole operation runs under the manager lock: the enqueue attempt is
+// non-blocking, and serializing it against Shutdown's queue close is what
+// keeps the two from racing.
+func (m *Manager) Submit(normalized *Spec) (*Job, error) {
+	key := Key{SpecHash: normalized.Hash(), Seed: normalized.Seed}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShuttingDown
+	}
+	job := &Job{
+		id:       fmt.Sprintf("run-%06d", m.nextID+1),
+		spec:     normalized,
+		key:      key,
+		state:    Queued,
+		total:    normalized.Tags,
+		finished: make(chan struct{}),
+	}
+
+	if body, ok := m.store.Get(key); ok {
+		job.cacheHit = true
+		job.done = job.total
+		job.state = Done
+		job.body = body
+		close(job.finished)
+		m.nextID++
+		m.jobs[job.id] = job
+		m.order = append(m.order, job.id)
+		m.counters.Submitted++
+		m.counters.CacheHits++
+		return job, nil
+	}
+
+	job.ctx, job.cancel = context.WithCancel(context.Background())
+	select {
+	case m.queue <- job:
+		m.nextID++
+		m.jobs[job.id] = job
+		m.order = append(m.order, job.id)
+		m.counters.Submitted++
+		return job, nil
+	default:
+		job.cancel()
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs lists job statuses in submission order.
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. Queued jobs are canceled before
+// they start; running jobs stop at the next per-tag boundary. Returns false
+// for unknown IDs, true otherwise (including jobs already terminal).
+func (m *Manager) Cancel(id string) bool {
+	j, ok := m.Get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	state := j.state
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if state == Queued {
+		// A queued job with no worker attention yet terminates here so
+		// clients see the state immediately; if the worker picked it up in
+		// the meantime, finish is a no-op and the worker's own
+		// context-canceled path does the accounting instead.
+		if j.finish(Canceled, nil, "canceled before start") {
+			m.countCancel()
+		}
+	}
+	return true
+}
+
+func (m *Manager) countCancel() {
+	m.mu.Lock()
+	m.counters.Canceled++
+	m.mu.Unlock()
+}
+
+// Shutdown stops accepting jobs, waits for the backlog to drain and the
+// in-flight jobs to finish. If ctx expires first, running jobs are canceled
+// and Shutdown waits for the workers to observe it.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.queue) // under the lock, serialized against Submit's enqueue
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		// Hurry the pool: cancel everything still alive, then wait for the
+		// workers — per-tag boundaries are milliseconds, so this converges.
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			j.mu.Lock()
+			cancel := j.cancel
+			j.mu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+		}
+		m.mu.Unlock()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.runJob(job)
+	}
+}
+
+// runJob executes one deployment and stores its result body.
+func (m *Manager) runJob(job *Job) {
+	job.mu.Lock()
+	if job.state != Queued { // canceled while waiting in the queue
+		job.mu.Unlock()
+		return
+	}
+	job.state = Running
+	spec := job.spec
+	ctx := job.ctx
+	job.mu.Unlock()
+
+	m.mu.Lock()
+	m.counters.Started++
+	m.mu.Unlock()
+
+	res, err := experiments.RunDeployment(ctx, spec.Deployment(), m.opts.JobWorkers, job.setProgress)
+	switch {
+	case err == nil:
+		body := buildResultBody(job.key, spec, res)
+		m.store.Put(job.key, body)
+		if job.finish(Done, body, "") {
+			m.mu.Lock()
+			m.counters.Computed++
+			m.mu.Unlock()
+		}
+	case errors.Is(err, context.Canceled):
+		if job.finish(Canceled, nil, "canceled") {
+			m.countCancel()
+		}
+	default:
+		if job.finish(Failed, nil, err.Error()) {
+			m.mu.Lock()
+			m.counters.Failed++
+			m.mu.Unlock()
+		}
+	}
+}
+
+// ResultDoc is the served result body: the content address, the normalized
+// spec it answers, and the aggregated deployment result. Struct field order
+// fixes the byte layout; it is marshaled once per computation and stored
+// verbatim, which is what makes the "byte-identical results" contract
+// trivially auditable.
+type ResultDoc struct {
+	Key    Key                           `json:"key"`
+	Spec   *Spec                         `json:"spec"`
+	Result *experiments.DeploymentResult `json:"result"`
+}
+
+func buildResultBody(key Key, spec *Spec, res *experiments.DeploymentResult) []byte {
+	b, err := json.MarshalIndent(&ResultDoc{Key: key, Spec: spec, Result: res}, "", "  ")
+	if err != nil {
+		// The document is a tree of plain structs and scalars.
+		panic(fmt.Sprintf("serve: result marshal: %v", err))
+	}
+	return append(b, '\n')
+}

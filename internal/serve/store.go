@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key addresses one artifact in the Store: the content hash of the
+// normalized spec plus the seed. Identical keys denote identical
+// computations — the deployment runner is deterministic in (spec, seed) — so
+// a stored body can be served for any later request with the same key
+// without recompute, byte for byte.
+type Key struct {
+	SpecHash string `json:"spec_hash"`
+	Seed     uint64 `json:"seed"`
+}
+
+// Store is the bounded in-memory content-addressed artifact store. Values
+// are the finished result bodies (JSON documents) exactly as they are served
+// to clients. Eviction is LRU by access so a hot spec survives a sweep of
+// one-off requests.
+type Store struct {
+	mu      sync.Mutex
+	max     int
+	entries map[Key]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses, evictions uint64
+	bytes                   int64
+}
+
+type storeEntry struct {
+	key  Key
+	body []byte
+}
+
+// NewStore builds a store bounded to max entries; max <= 0 selects a
+// default of 256.
+func NewStore(max int) *Store {
+	if max <= 0 {
+		max = 256
+	}
+	return &Store{
+		max:     max,
+		entries: make(map[Key]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Get returns the stored body for the key, or (nil, false). The returned
+// slice is shared — callers must not mutate it.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[k]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.order.MoveToFront(el)
+	return el.Value.(*storeEntry).body, true
+}
+
+// Put stores a body under the key. A concurrent duplicate computation may
+// Put the same key twice; the bodies are identical by the determinism
+// contract, so the second write just refreshes recency.
+func (s *Store) Put(k Key, body []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		s.order.MoveToFront(el)
+		return
+	}
+	s.entries[k] = s.order.PushFront(&storeEntry{key: k, body: body})
+	s.bytes += int64(len(body))
+	for len(s.entries) > s.max {
+		el := s.order.Back()
+		e := el.Value.(*storeEntry)
+		s.order.Remove(el)
+		delete(s.entries, e.key)
+		s.bytes -= int64(len(e.body))
+		s.evictions++
+	}
+}
+
+// StoreStats is the store's observability snapshot, served at /metricsz.
+type StoreStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats returns a consistent snapshot of the store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Entries:   len(s.entries),
+		Bytes:     s.bytes,
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+	}
+}

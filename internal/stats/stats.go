@@ -87,16 +87,19 @@ func percentileSorted(sorted []float64, p float64) float64 {
 // Median returns the 50th percentile of xs.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
-// Summary holds the five-number summary plus moments for a sample.
+// Summary holds the five-number summary plus moments for a sample. The JSON
+// field names are part of the serving API's determinism contract (see
+// internal/serve): two runs that produce the same sample values marshal to
+// identical bytes.
 type Summary struct {
-	N      int
-	Mean   float64
-	Std    float64
-	Min    float64
-	P25    float64
-	Median float64
-	P75    float64
-	Max    float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	P25    float64 `json:"p25"`
+	Median float64 `json:"median"`
+	P75    float64 `json:"p75"`
+	Max    float64 `json:"max"`
 }
 
 // Summarize computes a Summary of xs. It panics on an empty slice.
@@ -114,6 +117,52 @@ func Summarize(xs []float64) Summary {
 		P75:    percentileSorted(sorted, 75),
 		Max:    hi,
 	}
+}
+
+// Aggregate accumulates samples one at a time for per-run metric
+// aggregation: a consumer that sees values arrive out of order (a worker
+// pool completing tags, a server folding per-job metrics) adds each sample
+// as it lands and asks for the Summary at the end. The result depends only
+// on the multiset of added values — never on arrival order — so concurrent
+// producers that each feed their own Aggregate and Merge at the end get the
+// same Summary as a single sequential pass.
+type Aggregate struct {
+	xs []float64
+}
+
+// Add folds one sample into the aggregate.
+func (a *Aggregate) Add(x float64) { a.xs = append(a.xs, x) }
+
+// AddAll folds a batch of samples into the aggregate.
+func (a *Aggregate) AddAll(xs []float64) { a.xs = append(a.xs, xs...) }
+
+// Merge folds another aggregate's samples into this one. The other
+// aggregate is left untouched.
+func (a *Aggregate) Merge(b *Aggregate) { a.xs = append(a.xs, b.xs...) }
+
+// N returns the number of samples added so far.
+func (a *Aggregate) N() int { return len(a.xs) }
+
+// Sum returns the sum of the added samples, accumulated in sorted order so
+// the floating-point result is bit-identical for any insertion order.
+func (a *Aggregate) Sum() float64 {
+	var s float64
+	for _, x := range a.sorted() {
+		s += x
+	}
+	return s
+}
+
+// Summary computes the five-number summary of the added samples. The
+// computation runs over a sorted copy, so every field — including the
+// order-sensitive floating-point Mean — is bit-identical for any insertion
+// order. It panics when no samples have been added (matching Summarize).
+func (a *Aggregate) Summary() Summary { return Summarize(a.sorted()) }
+
+func (a *Aggregate) sorted() []float64 {
+	xs := append([]float64(nil), a.xs...)
+	sort.Float64s(xs)
+	return xs
 }
 
 // Box is a Tukey box-plot summary: quartiles, whiskers at the last data point

@@ -224,3 +224,52 @@ func TestBoxPlotQuartilesOrdered(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAggregateMatchesSummarize(t *testing.T) {
+	r := rng.New(11)
+	xs := make([]float64, 257)
+	for i := range xs {
+		xs[i] = r.NormFloat64() * 50
+	}
+	var a Aggregate
+	for _, x := range xs {
+		a.Add(x)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if got, want := a.Summary(), Summarize(sorted); got != want {
+		t.Fatalf("Aggregate summary %+v != Summarize %+v", got, want)
+	}
+	if a.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", a.N(), len(xs))
+	}
+	if got, want := a.Sum(), Mean(xs)*float64(len(xs)); math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+}
+
+func TestAggregateMergeOrderIndependent(t *testing.T) {
+	r := rng.New(5)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+	}
+	// Shard the samples across three aggregates in interleaved order, then
+	// merge: must equal the sequential pass.
+	var shards [3]Aggregate
+	for i, x := range xs {
+		shards[i%3].Add(x)
+	}
+	var sequential Aggregate
+	sequential.AddAll(xs)
+	var merged Aggregate
+	merged.Merge(&shards[2])
+	merged.Merge(&shards[0])
+	merged.Merge(&shards[1])
+	if got, want := merged.Summary(), sequential.Summary(); got != want {
+		t.Fatalf("merged summary %+v != sequential %+v", got, want)
+	}
+	if got, want := merged.Sum(), sequential.Sum(); got != want {
+		t.Fatalf("merged sum %v != sequential %v", got, want)
+	}
+}

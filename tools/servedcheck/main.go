@@ -1,0 +1,204 @@
+// Command servedcheck is the make served-check smoke driver: it builds
+// nothing itself, but launches an already-built lscatter-served binary on an
+// ephemeral port, exercises the service end to end over real TCP (healthz,
+// submit, poll, fetch results, metrics), then sends SIGTERM and requires a
+// clean graceful exit. It is the one gate that proves the shipped binary —
+// flags, listener, signal handling — works outside the httptest harness.
+//
+// Usage: servedcheck -bin bin/lscatter-served
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	bin := flag.String("bin", "bin/lscatter-served", "path to the lscatter-served binary")
+	flag.Parse()
+	if err := run(*bin); err != nil {
+		fmt.Fprintf(os.Stderr, "servedcheck: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("servedcheck: OK")
+}
+
+func run(bin string) error {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1", "-drain", "10s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", bin, err)
+	}
+	defer cmd.Process.Kill()
+
+	// The server prints its bound address as the first stdout line.
+	base, err := readBaseURL(stdout)
+	if err != nil {
+		return err
+	}
+	go io.Copy(io.Discard, stdout) // keep draining so the server never blocks on stdout
+
+	if err := waitHealthy(base, 5*time.Second); err != nil {
+		return err
+	}
+
+	// Submit a tiny deterministic run and poll it to completion.
+	resp, err := http.Post(base+"/v1/runs", "application/json",
+		strings.NewReader(`{"venue":"home","tags":2,"seed":424242}`))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	var sub struct {
+		ID         string `json:"id"`
+		ResultsURL string `json:"results_url"`
+		StatusURL  string `json:"status_url"`
+	}
+	if err := decodeInto(resp, http.StatusAccepted, &sub); err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + sub.StatusURL)
+		if err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := decodeInto(resp, http.StatusOK, &st); err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			return fmt.Errorf("run %s ended %s: %s", sub.ID, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("run %s still %s after 15s", sub.ID, st.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, err = http.Get(base + sub.ResultsURL)
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	var doc struct {
+		Result struct {
+			Tags       int `json:"tags"`
+			SyncedTags int `json:"synced_tags"`
+		} `json:"result"`
+	}
+	if err := decodeInto(resp, http.StatusOK, &doc); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	if doc.Result.Tags != 2 {
+		return fmt.Errorf("results report %d tags, want 2", doc.Result.Tags)
+	}
+	fmt.Printf("servedcheck: run %s done, %d/%d tags synced\n",
+		sub.ID, doc.Result.SyncedTags, doc.Result.Tags)
+
+	resp, err = http.Get(base + "/metricsz")
+	if err != nil {
+		return fmt.Errorf("metricsz: %w", err)
+	}
+	var met struct {
+		Jobs struct {
+			Submitted int `json:"submitted"`
+			Computed  int `json:"computed"`
+		} `json:"jobs"`
+	}
+	if err := decodeInto(resp, http.StatusOK, &met); err != nil {
+		return fmt.Errorf("metricsz: %w", err)
+	}
+	if met.Jobs.Submitted != 1 || met.Jobs.Computed != 1 {
+		return fmt.Errorf("metricsz counters: %+v", met.Jobs)
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("sigterm: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("server exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("server did not exit within 15s of SIGTERM")
+	}
+	return nil
+}
+
+func readBaseURL(stdout io.Reader) (string, error) {
+	sc := bufio.NewScanner(stdout)
+	lineCh := make(chan string, 1)
+	go func() {
+		if sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+	}()
+	select {
+	case line, ok := <-lineCh:
+		if !ok {
+			return "", fmt.Errorf("server exited before printing its address")
+		}
+		const marker = "listening on "
+		i := strings.Index(line, marker)
+		if i < 0 {
+			return "", fmt.Errorf("unexpected banner %q", line)
+		}
+		return strings.TrimSpace(line[i+len(marker):]), nil
+	case <-time.After(10 * time.Second):
+		return "", fmt.Errorf("server did not print its address within 10s")
+	}
+}
+
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("healthz not ready within %s", timeout)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func decodeInto(resp *http.Response, wantStatus int, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("status %d (want %d): %s", resp.StatusCode, wantStatus, body)
+	}
+	return json.Unmarshal(body, v)
+}

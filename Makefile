@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench bench-compare rtf rtf-check figures examples examples-check served-check cover clean
+.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench bench-compare rtf rtf-check figures examples examples-check served-check served-load cover clean
 
 all: vet test
 
 # The full gate a PR must pass: vet, the suite under the race detector, the
 # doc-comment check, the example-stdout goldens, the real-time-factor
-# regression gate and the server end-to-end smoke. Run it before pushing.
-ci: vet race docs-check examples-check rtf-check served-check
+# regression gate and both server smokes (end-to-end crash/restart, then
+# load with required coalesce + disk-hit evidence). Run it before pushing.
+ci: vet race docs-check examples-check rtf-check served-check served-load
 
 test:
 	$(GO) test ./...
@@ -38,6 +39,7 @@ fuzz-smoke:
 	$(GO) test ./internal/dsp -run='^$$' -fuzz=FuzzCorrelatorEquivalence -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/fxp -run='^$$' -fuzz=FuzzFxpRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzSpecDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzArtifactDecode -fuzztime=$(FUZZTIME)
 
 # Regenerate the golden conformance vectors (testdata/*.json) after an
 # intentional waveform or RNG change; review the diff like code.
@@ -93,10 +95,22 @@ examples-check:
 
 # End-to-end smoke of the deployment-simulation server binary: build it,
 # launch on an ephemeral port, healthz + one tiny run over real TCP, then a
-# SIGTERM graceful-drain exit (see docs/SERVING.md).
+# SIGTERM graceful-drain exit — followed by the durability phase: SIGKILL
+# mid-life and a restart that must serve the same body from disk without
+# recompute (see docs/SERVING.md).
 served-check:
 	$(GO) build -o bin/lscatter-served ./cmd/lscatter-served
 	$(GO) run ./tools/servedcheck -bin bin/lscatter-served
+
+# Load smoke: a few seconds of mixed bursts (concurrent-identical, duplicate,
+# unique, canceled) against a freshly launched server with a 1-entry memory
+# store over a temp artifact dir. Fails unless coalesced joins AND disk hits
+# both actually happened; prints sustained runs/sec (baseline in
+# docs/BENCHMARKS.md).
+LOADTIME ?= 5s
+served-load:
+	$(GO) build -o bin/lscatter-served ./cmd/lscatter-served
+	$(GO) run ./tools/servedload -bin bin/lscatter-served -duration $(LOADTIME) -require-coalesce -require-disk-hits
 
 cover:
 	$(GO) test -cover ./...

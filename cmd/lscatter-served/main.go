@@ -8,6 +8,15 @@
 //
 //	lscatter-served [-addr 127.0.0.1:8080] [-workers 2] [-job-workers 4]
 //	                [-queue 64] [-store 256]
+//	                [-artifact-dir DIR] [-disk-max-bytes 268435456]
+//
+// With -artifact-dir the artifact store becomes durable: finished result
+// bodies are written through to checksummed files under DIR and promoted
+// back into the in-memory LRU on demand, so a restart — graceful or not —
+// keeps the cache warm and previously computed specs are served
+// byte-identically with zero recompute. Concurrent identical submissions
+// coalesce onto one in-flight run, and GET /v1/runs/{id}/events streams
+// per-tag progress rows over SSE.
 //
 // The bound address is printed on stdout ("listening on http://...") so
 // callers that bind an ephemeral port (-addr 127.0.0.1:0) can discover it —
@@ -35,21 +44,29 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
-		workers    = flag.Int("workers", 2, "concurrent jobs")
-		jobWorkers = flag.Int("job-workers", 4, "per-job tag-evaluation parallelism (never affects results)")
-		queue      = flag.Int("queue", 64, "queued-job backlog bound")
-		store      = flag.Int("store", 256, "artifact-store entry bound")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		workers     = flag.Int("workers", 2, "concurrent jobs")
+		jobWorkers  = flag.Int("job-workers", 4, "per-job tag-evaluation parallelism (never affects results)")
+		queue       = flag.Int("queue", 64, "queued-job backlog bound")
+		store       = flag.Int("store", 256, "in-memory artifact-store entry bound")
+		artifactDir = flag.String("artifact-dir", "", "durable artifact directory (empty = in-memory only)")
+		diskMax     = flag.Int64("disk-max-bytes", 256<<20, "on-disk artifact-store byte bound")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 
-	api := serve.NewServer(serve.Options{
+	api, err := serve.NewServer(serve.Options{
 		Workers:      *workers,
 		JobWorkers:   *jobWorkers,
 		QueueDepth:   *queue,
 		StoreEntries: *store,
+		ArtifactDir:  *artifactDir,
+		DiskMaxBytes: *diskMax,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lscatter-served: %v\n", err)
+		os.Exit(1)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -145,15 +145,17 @@ type DeploymentResult struct {
 // RunDeployment evaluates a deployment config on a pool of workers and
 // returns the aggregated result. workers <= 0 selects a single worker.
 //
-// progress, when non-nil, is called with (done, total) after each tag
-// completes; calls are serialized and done is strictly increasing, but which
-// tag finished is unspecified under a concurrent pool. The result does not
-// depend on the worker count: per-tag seeds derive from (Seed, tag index)
-// and the per-tag reports are assembled in fleet order.
+// progress, when non-nil, is called with (done, total, tag) after each tag
+// completes, where tag is the finished tag's full report — the serving
+// layer streams these as per-tag rows. Calls are serialized and done is
+// strictly increasing, but which tag finishes at which call is unspecified
+// under a concurrent pool. The result does not depend on the worker count:
+// per-tag seeds derive from (Seed, tag index) and the per-tag reports are
+// assembled in fleet order.
 //
 // Cancelling ctx stops dispatching new tags, waits for in-flight ones, and
 // returns (nil, ctx.Err()).
-func RunDeployment(ctx context.Context, cfg DeploymentConfig, workers int, progress func(done, total int)) (*DeploymentResult, error) {
+func RunDeployment(ctx context.Context, cfg DeploymentConfig, workers int, progress func(done, total int, tag TagReport)) (*DeploymentResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -184,7 +186,7 @@ func RunDeployment(ctx context.Context, cfg DeploymentConfig, workers int, progr
 				mu.Lock()
 				done++
 				if progress != nil {
-					progress(done, cfg.Tags)
+					progress(done, cfg.Tags, reports[i])
 				}
 				mu.Unlock()
 			}

@@ -74,11 +74,16 @@ func TestDeploymentPerTagSeedsDecorrelated(t *testing.T) {
 func TestDeploymentProgressMonotone(t *testing.T) {
 	cfg := tinyDeployment()
 	var calls []int
-	_, err := RunDeployment(context.Background(), cfg, 4, func(done, total int) {
+	tags := map[int]bool{}
+	_, err := RunDeployment(context.Background(), cfg, 4, func(done, total int, tag TagReport) {
 		if total != cfg.Tags {
 			t.Errorf("progress total = %d, want %d", total, cfg.Tags)
 		}
 		calls = append(calls, done)
+		if tags[tag.Tag] {
+			t.Errorf("tag %d reported finished twice", tag.Tag)
+		}
+		tags[tag.Tag] = true
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -91,13 +96,19 @@ func TestDeploymentProgressMonotone(t *testing.T) {
 			t.Fatalf("progress done sequence %v not strictly increasing by 1", calls)
 		}
 	}
+	// Every tag report arrives exactly once across the callback stream.
+	for i := 0; i < cfg.Tags; i++ {
+		if !tags[i] {
+			t.Fatalf("tag %d never reported via progress", i)
+		}
+	}
 }
 
 func TestDeploymentCancellation(t *testing.T) {
 	cfg := tinyDeployment()
 	cfg.Tags = 64
 	ctx, cancel := context.WithCancel(context.Background())
-	_, err := RunDeployment(ctx, cfg, 2, func(done, total int) {
+	_, err := RunDeployment(ctx, cfg, 2, func(done, total int, tag TagReport) {
 		if done == 2 {
 			cancel()
 		}

@@ -1,0 +1,490 @@
+package serve
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// The on-disk artifact format: one file per (spec-hash, seed) key, a fixed
+// binary header followed by the stored body. The header carries the key, the
+// body length and a SHA-256 of the body, so a truncated, bit-flipped or
+// zero-length file is detected on read instead of being served. The layout
+// (all integers little-endian):
+//
+//	magic    [8]byte  "LSCATART"
+//	version  uint32   1
+//	hashLen  uint32   length of the spec-hash string (lowercase hex)
+//	hash     [hashLen]byte
+//	seed     uint64
+//	bodyLen  uint64
+//	checksum [32]byte SHA-256 of the body
+//	body     [bodyLen]byte
+//
+// decodeArtifact is strict — any deviation (wrong magic, trailing bytes,
+// checksum mismatch) is an error — so encode(decode(b)) == b for every
+// accepted b; FuzzArtifactDecode pins that round-trip.
+const (
+	artifactMagic   = "LSCATART"
+	artifactVersion = 1
+	artifactExt     = ".art"
+	indexFileName   = "index.json"
+	quarantineDir   = "quarantine"
+	maxHashLen      = 64
+)
+
+// artifactHeaderSize is the fixed part of the header, before the
+// variable-length hash: magic + version + hashLen.
+const artifactHeaderSize = 8 + 4 + 4
+
+// encodeArtifact serializes one artifact to its on-disk byte form.
+func encodeArtifact(k Key, body []byte) []byte {
+	sum := sha256.Sum256(body)
+	buf := make([]byte, 0, artifactHeaderSize+len(k.SpecHash)+8+8+32+len(body))
+	buf = append(buf, artifactMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, artifactVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k.SpecHash)))
+	buf = append(buf, k.SpecHash...)
+	buf = binary.LittleEndian.AppendUint64(buf, k.Seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(body)))
+	buf = append(buf, sum[:]...)
+	buf = append(buf, body...)
+	return buf
+}
+
+// errCorruptArtifact wraps every decode failure so callers can treat
+// "quarantine this file" as one condition.
+var errCorruptArtifact = errors.New("corrupt artifact")
+
+// decodeArtifact parses and fully verifies one on-disk artifact. It never
+// panics on arbitrary input and accepts exactly the bytes encodeArtifact
+// produces: any truncation, extension, field corruption or checksum mismatch
+// returns an error.
+func decodeArtifact(data []byte) (Key, []byte, error) {
+	fail := func(format string, args ...any) (Key, []byte, error) {
+		return Key{}, nil, fmt.Errorf("%w: %s", errCorruptArtifact, fmt.Sprintf(format, args...))
+	}
+	if len(data) < artifactHeaderSize {
+		return fail("short header (%d bytes)", len(data))
+	}
+	if string(data[:8]) != artifactMagic {
+		return fail("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != artifactVersion {
+		return fail("unknown version %d", v)
+	}
+	hashLen := binary.LittleEndian.Uint32(data[12:16])
+	if hashLen == 0 || hashLen > maxHashLen {
+		return fail("hash length %d out of range", hashLen)
+	}
+	rest := data[artifactHeaderSize:]
+	if uint64(len(rest)) < uint64(hashLen)+8+8+32 {
+		return fail("truncated header")
+	}
+	hash := string(rest[:hashLen])
+	for _, c := range hash {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return fail("non-hex spec hash")
+		}
+	}
+	rest = rest[hashLen:]
+	seed := binary.LittleEndian.Uint64(rest[:8])
+	bodyLen := binary.LittleEndian.Uint64(rest[8:16])
+	sum := rest[16:48]
+	body := rest[48:]
+	if uint64(len(body)) != bodyLen {
+		return fail("body length %d does not match header claim %d", len(body), bodyLen)
+	}
+	got := sha256.Sum256(body)
+	if !bytes.Equal(got[:], sum) {
+		return fail("body checksum mismatch")
+	}
+	return Key{SpecHash: hash, Seed: seed}, body, nil
+}
+
+// indexDoc is the persisted store index: the keys on disk in LRU order (most
+// recently used first). It is an accelerator and an audit trail, not the
+// source of truth — OpenDiskStore rebuilds it from a directory scan, using
+// the persisted order only to keep eviction recency warm across restarts. A
+// stale entry (file gone or resized) is dropped with one log line.
+type indexDoc struct {
+	Version int          `json:"version"`
+	Entries []indexEntry `json:"entries"`
+}
+
+type indexEntry struct {
+	SpecHash string `json:"spec_hash"`
+	Seed     uint64 `json:"seed"`
+	File     string `json:"file"`
+	Size     int64  `json:"size"`
+}
+
+// decodeIndex parses an index file. Like decodeArtifact it must never panic
+// on arbitrary bytes; a structurally invalid index is an error and the
+// caller falls back to scan order.
+func decodeIndex(data []byte) (*indexDoc, error) {
+	var doc indexDoc
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	if doc.Version != artifactVersion {
+		return nil, fmt.Errorf("index: unknown version %d", doc.Version)
+	}
+	for _, e := range doc.Entries {
+		if e.File == "" || e.File != filepath.Base(e.File) || !strings.HasSuffix(e.File, artifactExt) {
+			return nil, fmt.Errorf("index: invalid file name %q", e.File)
+		}
+		if e.Size < 0 {
+			return nil, fmt.Errorf("index: negative size for %q", e.File)
+		}
+	}
+	return &doc, nil
+}
+
+// DiskStore is the durable layer under the in-memory artifact LRU: artifacts
+// are written through on Put and promoted lazily on Get, so a server restart
+// pointed at the same directory keeps the cache warm. Total size is bounded
+// by maxBytes with LRU eviction. Corrupt files are quarantined (moved into
+// quarantine/), never served.
+type DiskStore struct {
+	mu       sync.Mutex
+	dir      string
+	maxBytes int64
+	entries  map[Key]*list.Element
+	order    *list.List // front = most recently used
+	bytes    int64
+	logf     func(format string, args ...any)
+
+	hits, misses, puts, evictions uint64
+	quarantined, staleDropped     uint64
+}
+
+type diskEntry struct {
+	key  Key
+	file string
+	size int64
+}
+
+// DiskStats is the disk store's observability snapshot, served at /metricsz.
+type DiskStats struct {
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Puts        uint64 `json:"puts"`
+	Evictions   uint64 `json:"evictions"`
+	Quarantined uint64 `json:"quarantined"`
+	StaleIndex  uint64 `json:"stale_index_dropped"`
+}
+
+// artifactFileName is the canonical file name for a key. The spec hash is
+// validated hex and the seed is fixed-width, so names are filesystem-safe
+// and unique per key.
+func artifactFileName(k Key) string {
+	return fmt.Sprintf("%s-%016x%s", k.SpecHash, k.Seed, artifactExt)
+}
+
+// OpenDiskStore opens (creating if needed) a durable artifact store rooted
+// at dir. maxBytes <= 0 selects a 256 MiB default. Startup rebuilds the
+// in-memory index by scanning the directory: every *.art file's header is
+// verified (magic, version, key-matches-name, length claim vs file size) and
+// failures are quarantined; the persisted index.json only contributes the
+// LRU recency order. logf receives one line per quarantined file or dropped
+// stale index entry (nil = drop logs).
+func OpenDiskStore(dir string, maxBytes int64, logf func(string, ...any)) (*DiskStore, error) {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	d := &DiskStore{
+		dir:      dir,
+		maxBytes: maxBytes,
+		entries:  make(map[Key]*list.Element),
+		order:    list.New(),
+		logf:     logf,
+	}
+	if err := d.load(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// load scans dir, validates headers, applies the persisted recency order and
+// rewrites the index.
+func (d *DiskStore) load() error {
+	dirents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	// Scan: every *.art file with a valid header is a candidate entry.
+	scanned := map[string]diskEntry{}
+	quarantinedNow := map[string]bool{}
+	var scanOrder []string // directory order, the fallback recency
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, artifactExt) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		key, err := d.verifyHeader(name, info.Size())
+		if err != nil {
+			d.quarantine(name, err)
+			quarantinedNow[name] = true
+			continue
+		}
+		scanned[name] = diskEntry{key: key, file: name, size: info.Size()}
+		scanOrder = append(scanOrder, name)
+	}
+
+	// The persisted index contributes recency only: entries naming files the
+	// scan accepted are replayed in order; stale ones are dropped loudly.
+	var recency []string
+	if raw, err := os.ReadFile(filepath.Join(d.dir, indexFileName)); err == nil {
+		if idx, err := decodeIndex(raw); err != nil {
+			d.logf("serve: diskstore: ignoring unreadable index: %v", err)
+		} else {
+			for _, e := range idx.Entries {
+				se, ok := scanned[e.File]
+				if !ok || se.size != e.Size || se.key.SpecHash != e.SpecHash || se.key.Seed != e.Seed {
+					// A file the scan just quarantined already got its one log
+					// line; its index entry is a casualty, not separate news.
+					if !quarantinedNow[e.File] {
+						d.staleDropped++
+						d.logf("serve: diskstore: dropping stale index entry %s (file missing or changed)", e.File)
+					}
+					continue
+				}
+				recency = append(recency, e.File)
+			}
+		}
+	}
+	inRecency := map[string]bool{}
+	for _, f := range recency {
+		inRecency[f] = true
+	}
+	// Files the index did not order come after the ordered ones (treated as
+	// least recently used among the known, but still present).
+	for _, f := range scanOrder {
+		if !inRecency[f] {
+			recency = append(recency, f)
+		}
+	}
+	for _, f := range recency {
+		e := scanned[f]
+		d.entries[e.key] = d.order.PushBack(&e)
+		d.bytes += e.size
+	}
+	d.evictOverLocked()
+	d.writeIndexLocked()
+	return nil
+}
+
+// verifyHeader reads just the header of an artifact file and checks it
+// against the file name and size. Body checksums are verified lazily at Get;
+// truncation and zero-length files are caught here.
+func (d *DiskStore) verifyHeader(name string, size int64) (Key, error) {
+	f, err := os.Open(filepath.Join(d.dir, name))
+	if err != nil {
+		return Key{}, fmt.Errorf("%w: %v", errCorruptArtifact, err)
+	}
+	defer f.Close()
+	head := make([]byte, artifactHeaderSize+maxHashLen+8+8+32)
+	n, _ := f.Read(head)
+	head = head[:n]
+	if n < artifactHeaderSize {
+		return Key{}, fmt.Errorf("%w: short file (%d bytes)", errCorruptArtifact, n)
+	}
+	if string(head[:8]) != artifactMagic {
+		return Key{}, fmt.Errorf("%w: bad magic", errCorruptArtifact)
+	}
+	if v := binary.LittleEndian.Uint32(head[8:12]); v != artifactVersion {
+		return Key{}, fmt.Errorf("%w: unknown version %d", errCorruptArtifact, v)
+	}
+	hashLen := binary.LittleEndian.Uint32(head[12:16])
+	if hashLen == 0 || hashLen > maxHashLen {
+		return Key{}, fmt.Errorf("%w: hash length %d out of range", errCorruptArtifact, hashLen)
+	}
+	if uint32(len(head)) < artifactHeaderSize+hashLen+8+8 {
+		return Key{}, fmt.Errorf("%w: truncated header", errCorruptArtifact)
+	}
+	rest := head[artifactHeaderSize:]
+	key := Key{
+		SpecHash: string(rest[:hashLen]),
+		Seed:     binary.LittleEndian.Uint64(rest[hashLen : hashLen+8]),
+	}
+	bodyLen := binary.LittleEndian.Uint64(rest[hashLen+8 : hashLen+16])
+	wantSize := int64(artifactHeaderSize) + int64(hashLen) + 8 + 8 + 32 + int64(bodyLen)
+	if size != wantSize {
+		return Key{}, fmt.Errorf("%w: file size %d does not match header claim %d", errCorruptArtifact, size, wantSize)
+	}
+	if artifactFileName(key) != name {
+		return Key{}, fmt.Errorf("%w: header key %v does not match file name", errCorruptArtifact, key)
+	}
+	return key, nil
+}
+
+// quarantine moves a bad file aside (never deletes evidence) and logs once.
+func (d *DiskStore) quarantine(name string, reason error) {
+	d.quarantined++
+	dst := filepath.Join(d.dir, quarantineDir, name)
+	if err := os.Rename(filepath.Join(d.dir, name), dst); err != nil {
+		// Rename across the same directory tree should not fail; fall back to
+		// removal so the bad body can never be served.
+		_ = os.Remove(filepath.Join(d.dir, name))
+	}
+	d.logf("serve: diskstore: quarantined %s: %v", name, reason)
+}
+
+// Get returns the stored body for the key, fully verified against its
+// checksum. A file that fails verification is quarantined and reported as a
+// miss, so a corrupt body is never served.
+func (d *DiskStore) Get(k Key) ([]byte, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	el, ok := d.entries[k]
+	if !ok {
+		d.misses++
+		return nil, false
+	}
+	e := el.Value.(*diskEntry)
+	data, err := os.ReadFile(filepath.Join(d.dir, e.file))
+	if err == nil {
+		var key Key
+		var body []byte
+		key, body, err = decodeArtifact(data)
+		if err == nil && key != k {
+			err = fmt.Errorf("%w: header key %v does not match %v", errCorruptArtifact, key, k)
+		}
+		if err == nil {
+			d.hits++
+			d.order.MoveToFront(el)
+			return body, true
+		}
+	}
+	// Unreadable or corrupt: drop the entry, quarantine the file, miss.
+	d.order.Remove(el)
+	delete(d.entries, k)
+	d.bytes -= e.size
+	d.quarantine(e.file, err)
+	d.writeIndexLocked()
+	d.misses++
+	return nil, false
+}
+
+// Put durably stores a body under the key (write-through from the memory
+// LRU). The write is atomic — temp file, sync, rename — so a crash mid-write
+// leaves either the old state or the new file, never a half-written
+// artifact under the canonical name. Errors are logged, not returned: the
+// disk layer is an accelerator, and the in-memory store still holds the
+// body.
+func (d *DiskStore) Put(k Key, body []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.entries[k]; ok {
+		// Identical by the determinism contract; refresh recency only.
+		d.order.MoveToFront(el)
+		return
+	}
+	data := encodeArtifact(k, body)
+	name := artifactFileName(k)
+	if err := d.writeAtomic(name, data); err != nil {
+		d.logf("serve: diskstore: write %s: %v", name, err)
+		return
+	}
+	e := &diskEntry{key: k, file: name, size: int64(len(data))}
+	d.entries[k] = d.order.PushFront(e)
+	d.bytes += e.size
+	d.puts++
+	d.evictOverLocked()
+	d.writeIndexLocked()
+}
+
+func (d *DiskStore) writeAtomic(name string, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(d.dir, name))
+}
+
+// evictOverLocked removes least-recently-used artifacts until the byte
+// budget holds.
+func (d *DiskStore) evictOverLocked() {
+	for d.bytes > d.maxBytes && d.order.Len() > 0 {
+		el := d.order.Back()
+		e := el.Value.(*diskEntry)
+		d.order.Remove(el)
+		delete(d.entries, e.key)
+		d.bytes -= e.size
+		d.evictions++
+		_ = os.Remove(filepath.Join(d.dir, e.file))
+	}
+}
+
+// writeIndexLocked persists the current LRU order. Best-effort: the index is
+// rebuilt from a scan on the next startup anyway.
+func (d *DiskStore) writeIndexLocked() {
+	doc := indexDoc{Version: artifactVersion}
+	for el := d.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*diskEntry)
+		doc.Entries = append(doc.Entries, indexEntry{
+			SpecHash: e.key.SpecHash,
+			Seed:     e.key.Seed,
+			File:     e.file,
+			Size:     e.size,
+		})
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return
+	}
+	if err := d.writeAtomic(indexFileName, append(data, '\n')); err != nil {
+		d.logf("serve: diskstore: write index: %v", err)
+	}
+}
+
+// Stats returns a consistent snapshot of the disk-store counters.
+func (d *DiskStore) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DiskStats{
+		Entries:     len(d.entries),
+		Bytes:       d.bytes,
+		Hits:        d.hits,
+		Misses:      d.misses,
+		Puts:        d.puts,
+		Evictions:   d.evictions,
+		Quarantined: d.quarantined,
+		StaleIndex:  d.staleDropped,
+	}
+}

@@ -1,0 +1,433 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The tests in this file pin the durable artifact store's crash/corruption
+// story: artifacts survive process boundaries byte-identically, and
+// truncated, bit-flipped, zero-length or stale-indexed files are quarantined
+// and recomputed — never served.
+
+func testKey(seed uint64) Key {
+	return Key{SpecHash: "0123456789abcdef", Seed: seed}
+}
+
+func openDisk(t *testing.T, dir string) *DiskStore {
+	t.Helper()
+	d, err := OpenDiskStore(dir, 0, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiskStoreRoundTripAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	body := []byte(`{"result":"the quick brown fox"}` + "\n")
+	k := testKey(7)
+
+	d1 := openDisk(t, dir)
+	d1.Put(k, body)
+	if got, ok := d1.Get(k); !ok || !bytes.Equal(got, body) {
+		t.Fatalf("same-open Get = %q, %v", got, ok)
+	}
+
+	// A second open over the same directory — the restart — must serve the
+	// identical bytes from the scanned file.
+	d2 := openDisk(t, dir)
+	got, ok := d2.Get(k)
+	if !ok {
+		t.Fatal("restart lost the artifact")
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("restart served different bytes: %q vs %q", got, body)
+	}
+	if st := d2.Stats(); st.Hits != 1 || st.Entries != 1 || st.Quarantined != 0 {
+		t.Fatalf("restart stats: %+v", st)
+	}
+}
+
+func TestDiskStoreMissIsAMiss(t *testing.T) {
+	d := openDisk(t, t.TempDir())
+	if _, ok := d.Get(testKey(1)); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if st := d.Stats(); st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// corruptCase mutates one stored artifact file on disk between opens.
+type corruptCase struct {
+	name   string
+	mutate func(t *testing.T, path string)
+	// atStartup is true when the startup scan itself must quarantine the
+	// file (size/header damage); false when the lazy checksum at Get does
+	// (content damage invisible to the header).
+	atStartup bool
+}
+
+func TestDiskStoreCorruptionRecovery(t *testing.T) {
+	cases := []corruptCase{
+		{"truncated", func(t *testing.T, path string) {
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, info.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		}, true},
+		{"zero-length", func(t *testing.T, path string) {
+			if err := os.Truncate(path, 0); err != nil {
+				t.Fatal(err)
+			}
+		}, true},
+		{"bit-flip-body", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-3] ^= 0x40 // flip one bit inside the body
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, false},
+		{"bit-flip-header", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[2] ^= 0x01 // damage the magic
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, true},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			k := testKey(9)
+			body := []byte(strings.Repeat("x", 256) + "\n")
+
+			d1 := openDisk(t, dir)
+			d1.Put(k, body)
+			path := filepath.Join(dir, artifactFileName(k))
+			tc.mutate(t, path)
+
+			var logged []string
+			d2, err := OpenDiskStore(dir, 0, func(format string, args ...any) {
+				logged = append(logged, format)
+			})
+			if err != nil {
+				t.Fatalf("server must start over a corrupt store: %v", err)
+			}
+			if got, ok := d2.Get(k); ok {
+				t.Fatalf("served a corrupt body: %q", got)
+			}
+			st := d2.Stats()
+			if st.Quarantined != 1 {
+				t.Fatalf("quarantined %d files, want 1 (stats %+v)", st.Quarantined, st)
+			}
+			if tc.atStartup && st.Entries != 0 {
+				t.Fatalf("startup scan kept the corrupt entry: %+v", st)
+			}
+			if len(logged) != 1 {
+				t.Fatalf("logged %d lines, want exactly 1: %v", len(logged), logged)
+			}
+			// The evidence moved into quarantine/ and the canonical path is
+			// free for a recompute.
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt file still at canonical path: %v", err)
+			}
+			q, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+			if err != nil || len(q) != 1 {
+				t.Fatalf("quarantine dir: %v entries, err %v", len(q), err)
+			}
+			// Recompute on demand: a fresh Put under the same key works and
+			// round-trips.
+			d2.Put(k, body)
+			if got, ok := d2.Get(k); !ok || !bytes.Equal(got, body) {
+				t.Fatalf("store unusable after quarantine: %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+func TestDiskStoreStaleIndexEntry(t *testing.T) {
+	dir := t.TempDir()
+	d1 := openDisk(t, dir)
+	d1.Put(testKey(1), []byte("one\n"))
+
+	// Corrupt the index by hand: add an entry for a file that does not
+	// exist, mimicking a crash between index write and artifact loss.
+	raw, err := os.ReadFile(filepath.Join(dir, indexFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx indexDoc
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		t.Fatal(err)
+	}
+	idx.Entries = append(idx.Entries, indexEntry{
+		SpecHash: "feedfacefeedface",
+		Seed:     99,
+		File:     "feedfacefeedface-0000000000000063.art",
+		Size:     1234,
+	})
+	out, _ := json.Marshal(&idx)
+	if err := os.WriteFile(filepath.Join(dir, indexFileName), out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logged []string
+	d2, err := OpenDiskStore(dir, 0, func(format string, args ...any) {
+		logged = append(logged, format)
+	})
+	if err != nil {
+		t.Fatalf("server must start over a stale index: %v", err)
+	}
+	st := d2.Stats()
+	if st.StaleIndex != 1 {
+		t.Fatalf("stale dropped %d, want 1: %+v", st.StaleIndex, st)
+	}
+	if len(logged) != 1 {
+		t.Fatalf("logged %d lines, want exactly 1: %v", len(logged), logged)
+	}
+	// The real artifact survives the stale neighbor.
+	if got, ok := d2.Get(testKey(1)); !ok || !bytes.Equal(got, []byte("one\n")) {
+		t.Fatalf("live artifact lost: %q, %v", got, ok)
+	}
+	// Missing key recomputes on demand (a miss, not an error).
+	if _, ok := d2.Get(Key{SpecHash: "feedfacefeedface", Seed: 99}); ok {
+		t.Fatal("stale index entry served a body")
+	}
+}
+
+func TestDiskStoreUnreadableIndexFallsBackToScan(t *testing.T) {
+	dir := t.TempDir()
+	d1 := openDisk(t, dir)
+	d1.Put(testKey(5), []byte("five\n"))
+	if err := os.WriteFile(filepath.Join(dir, indexFileName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2 := openDisk(t, dir)
+	if got, ok := d2.Get(testKey(5)); !ok || !bytes.Equal(got, []byte("five\n")) {
+		t.Fatalf("scan fallback lost the artifact: %q, %v", got, ok)
+	}
+}
+
+func TestDiskStoreByteBoundEviction(t *testing.T) {
+	dir := t.TempDir()
+	body := bytes.Repeat([]byte("a"), 1024)
+	// Budget for roughly three artifacts (header ≈ 80 bytes each).
+	d, err := OpenDiskStore(dir, 3*1200, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 6; seed++ {
+		d.Put(testKey(seed), body)
+	}
+	st := d.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a byte budget: %+v", st)
+	}
+	if st.Bytes > 3*1200 {
+		t.Fatalf("bytes %d exceed the budget: %+v", st.Bytes, st)
+	}
+	// Oldest evicted, newest retained.
+	if _, ok := d.Get(testKey(0)); ok {
+		t.Fatal("oldest artifact survived past the budget")
+	}
+	if _, ok := d.Get(testKey(5)); !ok {
+		t.Fatal("newest artifact was evicted")
+	}
+	// Evicted files are really gone from disk.
+	ents, _ := os.ReadDir(dir)
+	arts := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), artifactExt) {
+			arts++
+		}
+	}
+	if arts != st.Entries {
+		t.Fatalf("%d files on disk, %d entries in store", arts, st.Entries)
+	}
+}
+
+// TestManagerRestartWarmCache is the in-process crash/restart e2e at the
+// manager level: run a spec, shut down, build a fresh manager over the same
+// artifact dir, and require the re-fetched body byte-identical with zero
+// recompute and an observable disk hit.
+func TestManagerRestartWarmCache(t *testing.T) {
+	dir := t.TempDir()
+	spec := normalized(t, 6, 12345)
+
+	m1 := newManager(t, Options{Workers: 2, ArtifactDir: dir})
+	j1, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j1.Finished()
+	body1, ok := j1.Results()
+	if !ok {
+		t.Fatalf("first run did not finish done: %+v", j1.Status())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restart: a brand-new manager, cold memory, warm disk.
+	m2 := newManager(t, Options{Workers: 2, ArtifactDir: dir})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := m2.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	j2, err := m2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j2.Finished()
+	st := j2.Status()
+	if st.State != Done || !st.CacheHit {
+		t.Fatalf("restarted submission not served from disk: %+v", st)
+	}
+	body2, _ := j2.Results()
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("restart served different bytes:\n%s\nvs\n%s", body1, body2)
+	}
+	ctr := m2.Counters()
+	if ctr.DiskHits != 1 {
+		t.Fatalf("disk hits %d, want 1: %+v", ctr.DiskHits, ctr)
+	}
+	if ctr.Computed != 0 || ctr.Started != 0 {
+		t.Fatalf("restart recomputed: %+v", ctr)
+	}
+	// The promoted body now also answers from memory.
+	j3, err := m2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j3.Finished()
+	if got := m2.Counters(); got.CacheHits != 1 {
+		t.Fatalf("promotion did not warm the memory LRU: %+v", got)
+	}
+}
+
+// TestManagerRecomputesAfterCorruption covers the serving-level half of the
+// corruption story: a damaged artifact is quarantined and the submission
+// falls through to a fresh, correct computation.
+func TestManagerRecomputesAfterCorruption(t *testing.T) {
+	dir := t.TempDir()
+	spec := normalized(t, 6, 777)
+
+	m1 := newManager(t, Options{Workers: 2, ArtifactDir: dir})
+	j1, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j1.Finished()
+	body1, _ := j1.Results()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a bit in the stored body.
+	key := Key{SpecHash: spec.Hash(), Seed: spec.Seed}
+	path := filepath.Join(dir, artifactFileName(key))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newManager(t, Options{Workers: 2, ArtifactDir: dir})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := m2.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	j2, err := m2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j2.Finished()
+	st := j2.Status()
+	if st.State != Done {
+		t.Fatalf("recompute ended %s: %s", st.State, st.Error)
+	}
+	if st.CacheHit {
+		t.Fatal("corrupt artifact was served as a cache hit")
+	}
+	body2, _ := j2.Results()
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("recompute after corruption produced different bytes")
+	}
+	ctr := m2.Counters()
+	if ctr.Computed != 1 || ctr.DiskHits != 0 {
+		t.Fatalf("corruption path counters: %+v", ctr)
+	}
+	if ds := m2.Disk().Stats(); ds.Quarantined != 1 {
+		t.Fatalf("quarantined %d, want 1: %+v", ds.Quarantined, ds)
+	}
+}
+
+// FuzzArtifactDecode holds the never-panic line on the on-disk artifact
+// header and index formats — the surface a crashed or hostile writer can
+// hand the startup scan. Accepted artifacts must round-trip byte-exactly
+// (decode is strict, encode is canonical); accepted indexes must re-encode
+// cleanly.
+func FuzzArtifactDecode(f *testing.F) {
+	valid := encodeArtifact(testKey(3), []byte(`{"ok":true}`))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])           // truncated body
+	f.Add(valid[:artifactHeaderSize])     // header only
+	f.Add([]byte{})                       // zero-length
+	f.Add([]byte("LSCATART"))             // bare magic
+	f.Add(bytes.Repeat([]byte{0xff}, 64)) // junk
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)-2] ^= 0x01
+	f.Add(flip) // checksum mismatch
+	f.Add([]byte(`{"version":1,"entries":[{"spec_hash":"0123456789abcdef","seed":3,"file":"0123456789abcdef-0000000000000003.art","size":95}]}`))
+	f.Add([]byte(`{"version":99,"entries":[]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"file":"../../etc/passwd.art"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, body, err := decodeArtifact(data)
+		if err == nil {
+			re := encodeArtifact(k, body)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("artifact round-trip not canonical:\n%x\nvs\n%x", re, data)
+			}
+		}
+		idx, err := decodeIndex(data)
+		if err == nil {
+			for _, e := range idx.Entries {
+				if e.File != filepath.Base(e.File) {
+					t.Fatalf("accepted index entry escapes the store dir: %q", e.File)
+				}
+			}
+		}
+	})
+}

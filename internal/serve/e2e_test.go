@@ -16,7 +16,13 @@ import (
 // startServer boots a full server over httptest and arranges shutdown.
 func startServer(t *testing.T, opts Options) (*httptest.Server, *Server) {
 	t.Helper()
-	api := NewServer(opts)
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	api, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(api.Handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"lscatter/internal/experiments"
+)
+
+// Event is one server-sent event on a job's stream: a pre-marshaled data
+// payload under a type tag. Payloads are marshaled once, when the event is
+// appended, so every subscriber sees identical bytes.
+type Event struct {
+	Type string // "progress" or "end"
+	Data string // JSON document
+}
+
+// progressEvent is the per-tag row streamed while a run executes: the
+// overall progress counters plus the finished tag's report. Which tag
+// finishes at which row is unspecified under a concurrent pool (see
+// experiments.RunDeployment), so the stream is not part of the
+// byte-stability contract — only result bodies are.
+type progressEvent struct {
+	Done  int                    `json:"done"`
+	Total int                    `json:"total"`
+	Tag   *experiments.TagReport `json:"tag,omitempty"`
+}
+
+// endEvent terminates every stream. ETag matches the ETag header on
+// GET /v1/runs/{id}/results, so an SSE client can turn around and fetch (or
+// revalidate) the result body without another status poll.
+type endEvent struct {
+	State State  `json:"state"`
+	ETag  string `json:"etag,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// maxEventBacklog bounds the per-job event history. Streams replay the
+// backlog to late subscribers; beyond the bound the oldest rows are dropped
+// (the end event is always retained because it is appended last).
+const maxEventBacklog = 4096
+
+// eventLog is a job's append-only event history plus a broadcast channel.
+// Appending never blocks on consumers: subscribers read the slice at their
+// own pace and wait on ch for more, so a slow or stuck SSE client can never
+// stall the job that is producing events. Guarded by the owning Job's mu.
+type eventLog struct {
+	base     int // index of list[0] in the logical stream
+	list     []Event
+	ch       chan struct{} // closed and replaced on every append
+	terminal bool          // an end event has been appended
+}
+
+func newEventLog() eventLog {
+	return eventLog{ch: make(chan struct{})}
+}
+
+// appendLocked adds an event and wakes all waiters. Callers hold the job mu.
+func (l *eventLog) appendLocked(ev Event) {
+	l.list = append(l.list, ev)
+	if len(l.list) > maxEventBacklog {
+		drop := len(l.list) - maxEventBacklog
+		l.list = append([]Event(nil), l.list[drop:]...)
+		l.base += drop
+	}
+	close(l.ch)
+	l.ch = make(chan struct{})
+}
+
+// marshalEvent renders a payload; event payloads are plain structs of
+// scalars, so this cannot fail.
+func marshalEvent(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("serve: event marshal: %v", err))
+	}
+	return string(b)
+}
+
+// EventsSince returns the events at logical index >= i, the next index to
+// resume from, whether the stream has terminated, and a channel closed on
+// the next append. A subscriber that fell behind a truncated backlog resumes
+// at the oldest retained event.
+func (j *Job) EventsSince(i int) (evs []Event, next int, terminal bool, wait <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < j.events.base {
+		i = j.events.base
+	}
+	if off := i - j.events.base; off < len(j.events.list) {
+		evs = append([]Event(nil), j.events.list[off:]...)
+	}
+	return evs, j.events.base + len(j.events.list), j.events.terminal, j.events.ch
+}

@@ -22,9 +22,14 @@ type Server struct {
 	manager *Manager
 }
 
-// NewServer builds a server plus its manager from the options.
-func NewServer(opts Options) *Server {
-	return &Server{manager: NewManager(opts)}
+// NewServer builds a server plus its manager from the options. It fails only
+// when the durable artifact store cannot be opened.
+func NewServer(opts Options) (*Server, error) {
+	m, err := NewManager(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{manager: m}, nil
 }
 
 // Manager exposes the underlying job manager (shutdown, tests).
@@ -36,6 +41,7 @@ func (s *Server) Manager() *Manager { return s.manager }
 //	GET    /v1/runs              list runs (submission order)
 //	GET    /v1/runs/{id}         run status + progress
 //	GET    /v1/runs/{id}/results finished result body (byte-stable)
+//	GET    /v1/runs/{id}/events  SSE stream of per-tag progress rows
 //	DELETE /v1/runs/{id}         cancel a run
 //	GET    /healthz              liveness
 //	GET    /metricsz             job counters + artifact-store stats
@@ -48,6 +54,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/runs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	return mux
 }
 
@@ -73,17 +80,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// metricsDoc is the /metricsz body.
+// metricsDoc is the /metricsz body. Disk is present only when the server
+// runs with a durable artifact store (-artifact-dir).
 type metricsDoc struct {
 	Jobs  Counters   `json:"jobs"`
 	Store StoreStats `json:"store"`
+	Disk  *DiskStats `json:"disk,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, metricsDoc{
+	doc := metricsDoc{
 		Jobs:  s.manager.Counters(),
 		Store: s.manager.Store().Stats(),
-	})
+	}
+	if disk := s.manager.Disk(); disk != nil {
+		st := disk.Stats()
+		doc.Disk = &st
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // submitDoc is the POST /v1/runs response: the job snapshot plus the links
@@ -176,7 +190,50 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("ETag", fmt.Sprintf("%q", job.Status().SpecHash))
+	w.Header().Set("ETag", job.ETag())
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
+}
+
+// handleEvents streams a run's progress as server-sent events: one
+// "progress" event per finished tag (overall counters plus that tag's
+// report), then exactly one "end" event carrying the terminal state and, for
+// successful runs, the result body's ETag. The backlog replays to late
+// subscribers, so attaching after completion still yields the stream's tail.
+//
+// The producer never blocks on this handler: events are read from the job's
+// log at the consumer's pace, so a slow or disconnecting client cannot stall
+// or cancel the underlying run. Client disconnect just ends the stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	_ = rc.Flush()
+
+	i := 0
+	for {
+		evs, next, terminal, wait := job.EventsSince(i)
+		for _, ev := range evs {
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data); err != nil {
+				return
+			}
+		}
+		if len(evs) > 0 {
+			_ = rc.Flush()
+		}
+		i = next
+		if terminal {
+			return // the end event has been delivered
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
 }

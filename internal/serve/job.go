@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 
 	"lscatter/internal/experiments"
@@ -14,7 +15,8 @@ import (
 type State string
 
 // Job lifecycle: Queued -> Running -> one of Done/Failed/Canceled. A
-// cache-hit submission is born Done.
+// cache-hit submission is born Done; a coalesced submission is born attached
+// to the in-flight run and follows its state.
 const (
 	Queued   State = "queued"
 	Running  State = "running"
@@ -30,24 +32,43 @@ var (
 	ErrQueueFull    = errors.New("serve: job queue full")
 )
 
-// Job is one submitted deployment run. All mutable fields are guarded by
-// mu; handlers read through Status and Results.
+// Job is one submitted deployment run from one client's point of view.
+// Several jobs may share a single underlying computation (a flight) when
+// identical specs are submitted concurrently. All mutable fields are guarded
+// by mu; handlers read through Status, Results and EventsSince.
 type Job struct {
 	mu sync.Mutex
 
-	id       string
-	spec     *Spec // normalized
-	key      Key
-	state    State
-	cacheHit bool
-	done     int
-	total    int
-	err      string
-	body     []byte
+	id        string
+	key       Key
+	state     State
+	cacheHit  bool
+	coalesced bool
+	done      int
+	total     int
+	err       string
+	body      []byte
+	events    eventLog
 
+	fl       *flight // nil for born-done (cache/disk hit) jobs
+	finished chan struct{}
+}
+
+// flight is one underlying deployment computation. The first submission of
+// a key creates it; concurrent identical submissions attach to it instead of
+// enqueueing duplicates (request coalescing, the singleflight pattern). The
+// computation is canceled only when every attached job has been canceled.
+// Guarded by the Manager's mu.
+type flight struct {
+	key      Key
+	spec     *Spec
+	jobs     []*Job // attached, in attach order; jobs[0] created the flight
+	waiters  int    // attached jobs not yet individually canceled
+	running  bool
+	done     bool
+	canceled bool
 	ctx      context.Context
 	cancel   context.CancelFunc
-	finished chan struct{}
 }
 
 // JobStatus is the wire snapshot of a job, served at GET /v1/runs/{id}.
@@ -56,10 +77,15 @@ type JobStatus struct {
 	State    State  `json:"state"`
 	SpecHash string `json:"spec_hash"`
 	Seed     uint64 `json:"seed"`
-	CacheHit bool   `json:"cache_hit"`
-	Done     int    `json:"progress_done"`
-	Total    int    `json:"progress_total"`
-	Error    string `json:"error,omitempty"`
+	// CacheHit marks a submission answered from the artifact store (memory
+	// or disk) without any computation.
+	CacheHit bool `json:"cache_hit"`
+	// Coalesced marks a submission that attached to an identical in-flight
+	// run instead of starting its own.
+	Coalesced bool   `json:"coalesced"`
+	Done      int    `json:"progress_done"`
+	Total     int    `json:"progress_total"`
+	Error     string `json:"error,omitempty"`
 }
 
 // Status snapshots the job.
@@ -67,14 +93,15 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobStatus{
-		ID:       j.id,
-		State:    j.state,
-		SpecHash: j.key.SpecHash,
-		Seed:     j.key.Seed,
-		CacheHit: j.cacheHit,
-		Done:     j.done,
-		Total:    j.total,
-		Error:    j.err,
+		ID:        j.id,
+		State:     j.state,
+		SpecHash:  j.key.SpecHash,
+		Seed:      j.key.Seed,
+		CacheHit:  j.cacheHit,
+		Coalesced: j.coalesced,
+		Done:      j.done,
+		Total:     j.total,
+		Error:     j.err,
 	}
 }
 
@@ -92,15 +119,36 @@ func (j *Job) Results() ([]byte, bool) {
 // Finished returns a channel closed when the job reaches a terminal state.
 func (j *Job) Finished() <-chan struct{} { return j.finished }
 
-func (j *Job) setProgress(done, total int) {
+// ETag is the strong validator served with the result body and carried by
+// the stream's end event.
+func (j *Job) ETag() string { return fmt.Sprintf("%q", j.key.SpecHash) }
+
+func (j *Job) setProgress(done, total int, tag *experiments.TagReport) {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == Done || j.state == Failed || j.state == Canceled {
+		// An individually-canceled coalesced job already streamed its end
+		// event; late rows from the still-running flight stay off its log.
+		return
+	}
 	j.done, j.total = done, total
+	j.events.appendLocked(Event{
+		Type: "progress",
+		Data: marshalEvent(progressEvent{Done: done, Total: total, Tag: tag}),
+	})
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	if j.state == Queued {
+		j.state = Running
+	}
 	j.mu.Unlock()
 }
 
 // finish moves the job to a terminal state exactly once, reporting whether
 // this call made the transition (so lifecycle counters count once even when
-// a cancel races the worker).
+// a cancel races the worker). It appends the stream's end event.
 func (j *Job) finish(state State, body []byte, errMsg string) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -110,17 +158,53 @@ func (j *Job) finish(state State, body []byte, errMsg string) bool {
 	j.state = state
 	j.body = body
 	j.err = errMsg
+	end := endEvent{State: state, Error: errMsg}
+	if state == Done {
+		j.done = j.total
+		end.ETag = fmt.Sprintf("%q", j.key.SpecHash)
+	}
+	j.events.appendLocked(Event{Type: "end", Data: marshalEvent(end)})
+	j.events.terminal = true
 	close(j.finished)
 	return true
 }
 
+// bornDone completes a job at submission time from a stored body (memory or
+// disk hit).
+func (j *Job) bornDone(body []byte) {
+	j.mu.Lock()
+	j.cacheHit = true
+	j.state = Done
+	j.body = body
+	j.done = j.total
+	j.events.appendLocked(Event{Type: "end", Data: marshalEvent(endEvent{
+		State: Done,
+		ETag:  fmt.Sprintf("%q", j.key.SpecHash),
+	})})
+	j.events.terminal = true
+	close(j.finished)
+	j.mu.Unlock()
+}
+
 // Counters is the manager's observability snapshot, served at /metricsz.
-// CacheHits counts submissions answered from the artifact store; Computed
-// counts deployments that actually ran to completion — the e2e harness pins
-// the caching contract on the difference.
+//
+// Every accepted submission is classified exactly once: CacheHits (answered
+// from the memory store), DiskHits (answered from the durable store),
+// Coalesced (attached to an identical in-flight run) or Runs (created a new
+// computation). The submit-side ledger
+//
+//	Submitted == CacheHits + DiskHits + Coalesced + Runs
+//
+// holds at every instant; the race harness asserts it under contention.
+// Started/Computed/Failed count flights (actual computations); Canceled
+// counts jobs that ended canceled, whether individually or with their
+// flight.
 type Counters struct {
 	Submitted uint64 `json:"submitted"`
 	CacheHits uint64 `json:"cache_hits"`
+	DiskHits  uint64 `json:"disk_hits"`
+	Coalesced uint64 `json:"coalesced"`
+	Runs      uint64 `json:"runs"`
 	Started   uint64 `json:"started"`
 	Computed  uint64 `json:"computed"`
 	Failed    uint64 `json:"failed"`
@@ -134,34 +218,47 @@ type Options struct {
 	// QueueDepth bounds the backlog of queued jobs (default 64); beyond it
 	// Submit returns ErrQueueFull.
 	QueueDepth int
-	// StoreEntries bounds the artifact store (default 256).
+	// StoreEntries bounds the in-memory artifact store (default 256).
 	StoreEntries int
 	// JobWorkers is the per-job tag-evaluation parallelism (default 4). It
 	// never affects results: the deployment runner is deterministic at any
 	// worker count.
 	JobWorkers int
+	// ArtifactDir, when non-empty, enables the durable on-disk artifact
+	// store: results are written through on completion and promoted back
+	// into the memory LRU on demand, so restarts keep the cache warm.
+	ArtifactDir string
+	// DiskMaxBytes bounds the on-disk store (default 256 MiB). Ignored
+	// without ArtifactDir.
+	DiskMaxBytes int64
+	// Logf receives operational log lines (quarantined artifacts, stale
+	// index entries, disk write failures). Defaults to log.Printf.
+	Logf func(format string, args ...any)
 }
 
-// Manager owns the job queue, the worker pool and the artifact store. It is
+// Manager owns the job queue, the worker pool and the artifact stores. It is
 // the service's only stateful component; handlers are a thin HTTP skin over
 // it.
 type Manager struct {
 	opts  Options
 	store *Store
+	disk  *DiskStore // nil when no ArtifactDir is configured
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // submission order, for listing
+	inflight map[Key]*flight
 	nextID   uint64
 	counters Counters
 	closed   bool
 
-	queue chan *Job
+	queue chan *flight
 	wg    sync.WaitGroup
 }
 
-// NewManager starts a manager with its worker pool.
-func NewManager(opts Options) *Manager {
+// NewManager starts a manager with its worker pool, opening the durable
+// store when Options.ArtifactDir is set.
+func NewManager(opts Options) (*Manager, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 2
 	}
@@ -171,21 +268,35 @@ func NewManager(opts Options) *Manager {
 	if opts.JobWorkers <= 0 {
 		opts.JobWorkers = 4
 	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
 	m := &Manager{
-		opts:  opts,
-		store: NewStore(opts.StoreEntries),
-		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, opts.QueueDepth),
+		opts:     opts,
+		store:    NewStore(opts.StoreEntries),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[Key]*flight),
+		queue:    make(chan *flight, opts.QueueDepth),
+	}
+	if opts.ArtifactDir != "" {
+		disk, err := OpenDiskStore(opts.ArtifactDir, opts.DiskMaxBytes, opts.Logf)
+		if err != nil {
+			return nil, err
+		}
+		m.disk = disk
 	}
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
 }
 
-// Store exposes the artifact store (read-only use: stats, tests).
+// Store exposes the in-memory artifact store (read-only use: stats, tests).
 func (m *Manager) Store() *Store { return m.store }
+
+// Disk exposes the durable artifact store, nil when not configured.
+func (m *Manager) Disk() *DiskStore { return m.disk }
 
 // Counters snapshots the manager counters.
 func (m *Manager) Counters() Counters {
@@ -194,56 +305,109 @@ func (m *Manager) Counters() Counters {
 	return m.counters
 }
 
-// Submit validates nothing — the caller passes a normalized spec — and
-// either answers from the artifact store (a Done job born with the cached
-// body) or enqueues a new run. The job is registered either way, so the
-// lifecycle endpoints work identically for hits and misses.
-//
-// The whole operation runs under the manager lock: the enqueue attempt is
-// non-blocking, and serializing it against Shutdown's queue close is what
-// keeps the two from racing.
-func (m *Manager) Submit(normalized *Spec) (*Job, error) {
-	key := Key{SpecHash: normalized.Hash(), Seed: normalized.Seed}
-
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return nil, ErrShuttingDown
-	}
-	job := &Job{
+// newJobLocked builds an unregistered job; registerLocked admits it.
+func (m *Manager) newJobLocked(key Key, total int) *Job {
+	return &Job{
 		id:       fmt.Sprintf("run-%06d", m.nextID+1),
-		spec:     normalized,
 		key:      key,
 		state:    Queued,
-		total:    normalized.Tags,
+		total:    total,
+		events:   newEventLog(),
 		finished: make(chan struct{}),
 	}
+}
 
-	if body, ok := m.store.Get(key); ok {
-		job.cacheHit = true
-		job.done = job.total
-		job.state = Done
-		job.body = body
-		close(job.finished)
-		m.nextID++
-		m.jobs[job.id] = job
-		m.order = append(m.order, job.id)
-		m.counters.Submitted++
-		m.counters.CacheHits++
-		return job, nil
-	}
+func (m *Manager) registerLocked(job *Job) {
+	m.nextID++
+	m.jobs[job.id] = job
+	m.order = append(m.order, job.id)
+	m.counters.Submitted++
+}
 
-	job.ctx, job.cancel = context.WithCancel(context.Background())
-	select {
-	case m.queue <- job:
-		m.nextID++
-		m.jobs[job.id] = job
-		m.order = append(m.order, job.id)
-		m.counters.Submitted++
-		return job, nil
-	default:
-		job.cancel()
-		return nil, ErrQueueFull
+// Submit validates nothing — the caller passes a normalized spec — and
+// resolves the request through the cache hierarchy: the in-memory store, the
+// in-flight table (request coalescing: a concurrent identical submission
+// attaches to the one running computation and receives the same
+// byte-identical body), the durable on-disk store (lazy promotion into the
+// memory LRU), and finally a new computation on the queue. The job is
+// registered in every case, so the lifecycle endpoints work identically for
+// hits, joins and misses.
+//
+// The in-memory checks and the enqueue run under the manager lock — the
+// enqueue attempt is non-blocking, and serializing it against Shutdown's
+// queue close is what keeps the two from racing. The disk probe reads and
+// checksums a file, so it runs between lock holds; the second hold re-checks
+// the memory store and the in-flight table before falling through to a new
+// flight.
+func (m *Manager) Submit(normalized *Spec) (*Job, error) {
+	key := Key{SpecHash: normalized.Hash(), Seed: normalized.Seed}
+	diskProbed := false
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return nil, ErrShuttingDown
+		}
+		job := m.newJobLocked(key, normalized.Tags)
+
+		if body, ok := m.store.Get(key); ok {
+			m.registerLocked(job)
+			m.counters.CacheHits++
+			m.mu.Unlock()
+			job.bornDone(body)
+			return job, nil
+		}
+		if fl, ok := m.inflight[key]; ok && !fl.canceled {
+			job.coalesced = true
+			job.fl = fl
+			if fl.running {
+				job.state = Running
+			}
+			fl.jobs = append(fl.jobs, job)
+			fl.waiters++
+			m.registerLocked(job)
+			m.counters.Coalesced++
+			m.mu.Unlock()
+			return job, nil
+		}
+		if m.disk != nil && !diskProbed {
+			m.mu.Unlock()
+			// Disk I/O plus checksum verification happens outside the lock;
+			// the loop re-checks the fast paths afterwards.
+			body, ok := m.disk.Get(key)
+			diskProbed = true
+			if ok {
+				m.mu.Lock()
+				if m.closed {
+					m.mu.Unlock()
+					return nil, ErrShuttingDown
+				}
+				m.store.Put(key, body)
+				job := m.newJobLocked(key, normalized.Tags)
+				m.registerLocked(job)
+				m.counters.DiskHits++
+				m.mu.Unlock()
+				job.bornDone(body)
+				return job, nil
+			}
+			continue
+		}
+
+		fl := &flight{key: key, spec: normalized, jobs: []*Job{job}, waiters: 1}
+		fl.ctx, fl.cancel = context.WithCancel(context.Background())
+		job.fl = fl
+		select {
+		case m.queue <- fl:
+			m.registerLocked(job)
+			m.inflight[key] = fl
+			m.counters.Runs++
+			m.mu.Unlock()
+			return job, nil
+		default:
+			m.mu.Unlock()
+			fl.cancel()
+			return nil, ErrQueueFull
+		}
 	}
 }
 
@@ -271,42 +435,43 @@ func (m *Manager) Jobs() []JobStatus {
 	return out
 }
 
-// Cancel requests cancellation of a job. Queued jobs are canceled before
-// they start; running jobs stop at the next per-tag boundary. Returns false
-// for unknown IDs, true otherwise (including jobs already terminal).
+// Cancel requests cancellation of a job. Cancelling one job detaches it from
+// its flight; the underlying computation is canceled only when no attached
+// job still wants the result, so cancelling one of N coalesced submissions
+// never disturbs the other N-1. Returns false for unknown IDs, true
+// otherwise (including jobs already terminal).
 func (m *Manager) Cancel(id string) bool {
-	j, ok := m.Get(id)
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
 	if !ok {
 		return false
 	}
-	j.mu.Lock()
-	cancel := j.cancel
-	state := j.state
-	j.mu.Unlock()
-	if cancel != nil {
-		cancel()
+	if !j.finish(Canceled, nil, "canceled") {
+		return true // already terminal
 	}
-	if state == Queued {
-		// A queued job with no worker attention yet terminates here so
-		// clients see the state immediately; if the worker picked it up in
-		// the meantime, finish is a no-op and the worker's own
-		// context-canceled path does the accounting instead.
-		if j.finish(Canceled, nil, "canceled before start") {
-			m.countCancel()
+	m.mu.Lock()
+	m.counters.Canceled++
+	var cancelFn context.CancelFunc
+	if fl := j.fl; fl != nil && !fl.done {
+		fl.waiters--
+		if fl.waiters == 0 {
+			// Last interested client gone: abort the computation. The worker
+			// does the flight-level cleanup and accounting.
+			fl.canceled = true
+			cancelFn = fl.cancel
 		}
+	}
+	m.mu.Unlock()
+	if cancelFn != nil {
+		cancelFn()
 	}
 	return true
 }
 
-func (m *Manager) countCancel() {
-	m.mu.Lock()
-	m.counters.Canceled++
-	m.mu.Unlock()
-}
-
 // Shutdown stops accepting jobs, waits for the backlog to drain and the
-// in-flight jobs to finish. If ctx expires first, running jobs are canceled
-// and Shutdown waits for the workers to observe it.
+// in-flight jobs to finish. If ctx expires first, running flights are
+// canceled and Shutdown waits for the workers to observe it.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if m.closed {
@@ -326,18 +491,17 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	case <-drained:
 		return nil
 	case <-ctx.Done():
-		// Hurry the pool: cancel everything still alive, then wait for the
+		// Hurry the pool: cancel every live flight, then wait for the
 		// workers — per-tag boundaries are milliseconds, so this converges.
 		m.mu.Lock()
-		for _, j := range m.jobs {
-			j.mu.Lock()
-			cancel := j.cancel
-			j.mu.Unlock()
-			if cancel != nil {
-				cancel()
-			}
+		var cancels []context.CancelFunc
+		for _, fl := range m.inflight {
+			cancels = append(cancels, fl.cancel)
 		}
 		m.mu.Unlock()
+		for _, c := range cancels {
+			c()
+		}
 		<-drained
 		return ctx.Err()
 	}
@@ -346,48 +510,95 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 // worker drains the queue until Shutdown closes it.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for job := range m.queue {
-		m.runJob(job)
+	for fl := range m.queue {
+		m.runFlight(fl)
 	}
 }
 
-// runJob executes one deployment and stores its result body.
-func (m *Manager) runJob(job *Job) {
-	job.mu.Lock()
-	if job.state != Queued { // canceled while waiting in the queue
-		job.mu.Unlock()
+// finishFlight retires a flight: removes it from the in-flight table (unless
+// a successor already replaced it), snapshots the attached jobs and marks it
+// done. Must complete before jobs are finished so no Submit can join a
+// flight whose completion pass already ran.
+func (m *Manager) finishFlight(fl *flight) []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fl.done = true
+	if m.inflight[fl.key] == fl {
+		delete(m.inflight, fl.key)
+	}
+	return append([]*Job(nil), fl.jobs...)
+}
+
+// runFlight executes one deployment and completes every attached job with
+// the same stored body.
+func (m *Manager) runFlight(fl *flight) {
+	m.mu.Lock()
+	if fl.canceled || fl.ctx.Err() != nil {
+		// Every waiter canceled while the flight sat in the queue; the
+		// per-job accounting already happened in Cancel.
+		m.mu.Unlock()
+		for _, j := range m.finishFlight(fl) {
+			if j.finish(Canceled, nil, "canceled before start") {
+				m.countCancel()
+			}
+		}
 		return
 	}
-	job.state = Running
-	spec := job.spec
-	ctx := job.ctx
-	job.mu.Unlock()
-
-	m.mu.Lock()
+	fl.running = true
 	m.counters.Started++
+	jobs := append([]*Job(nil), fl.jobs...)
+	spec := fl.spec
+	ctx := fl.ctx
 	m.mu.Unlock()
+	for _, j := range jobs {
+		j.setRunning()
+	}
 
-	res, err := experiments.RunDeployment(ctx, spec.Deployment(), m.opts.JobWorkers, job.setProgress)
-	switch {
-	case err == nil:
-		body := buildResultBody(job.key, spec, res)
-		m.store.Put(job.key, body)
-		if job.finish(Done, body, "") {
-			m.mu.Lock()
-			m.counters.Computed++
-			m.mu.Unlock()
-		}
-	case errors.Is(err, context.Canceled):
-		if job.finish(Canceled, nil, "canceled") {
-			m.countCancel()
-		}
-	default:
-		if job.finish(Failed, nil, err.Error()) {
-			m.mu.Lock()
-			m.counters.Failed++
-			m.mu.Unlock()
+	progress := func(done, total int, tag experiments.TagReport) {
+		m.mu.Lock()
+		attached := append([]*Job(nil), fl.jobs...)
+		m.mu.Unlock()
+		for _, j := range attached {
+			j.setProgress(done, total, &tag)
 		}
 	}
+
+	res, err := experiments.RunDeployment(ctx, spec.Deployment(), m.opts.JobWorkers, progress)
+	switch {
+	case err == nil:
+		body := buildResultBody(fl.key, spec, res)
+		// Store before retiring the flight: a Submit that misses the
+		// in-flight table afterwards must hit the store.
+		m.store.Put(fl.key, body)
+		if m.disk != nil {
+			m.disk.Put(fl.key, body)
+		}
+		for _, j := range m.finishFlight(fl) {
+			j.finish(Done, body, "")
+		}
+		m.mu.Lock()
+		m.counters.Computed++
+		m.mu.Unlock()
+	case errors.Is(err, context.Canceled):
+		for _, j := range m.finishFlight(fl) {
+			if j.finish(Canceled, nil, "canceled") {
+				m.countCancel()
+			}
+		}
+	default:
+		for _, j := range m.finishFlight(fl) {
+			j.finish(Failed, nil, err.Error())
+		}
+		m.mu.Lock()
+		m.counters.Failed++
+		m.mu.Unlock()
+	}
+}
+
+func (m *Manager) countCancel() {
+	m.mu.Lock()
+	m.counters.Canceled++
+	m.mu.Unlock()
 }
 
 // ResultDoc is the served result body: the content address, the normalized

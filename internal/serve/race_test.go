@@ -22,8 +22,22 @@ func normalized(t testing.TB, tags int, seed uint64) *Spec {
 	return n
 }
 
+// newManager builds a manager for tests, failing the test on setup errors
+// and routing operational logs through the test log.
+func newManager(t testing.TB, opts Options) *Manager {
+	t.Helper()
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	m, err := NewManager(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestManagerConcurrentSubmissions(t *testing.T) {
-	m := NewManager(Options{Workers: 4, QueueDepth: 256, JobWorkers: 2})
+	m := newManager(t, Options{Workers: 4, QueueDepth: 256, JobWorkers: 2})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -65,10 +79,23 @@ func TestManagerConcurrentSubmissions(t *testing.T) {
 	if ctr.Submitted != clients*perClient {
 		t.Fatalf("submitted %d, want %d", ctr.Submitted, clients*perClient)
 	}
-	// Concurrent duplicates may race past the cache (both compute, both
-	// store the identical body), but the ledger must still balance.
-	if ctr.Computed+ctr.CacheHits != ctr.Submitted {
-		t.Fatalf("computed %d + cache hits %d != submitted %d", ctr.Computed, ctr.CacheHits, ctr.Submitted)
+	// Every submission resolves exactly one way: memory hit, disk hit,
+	// coalesced join, or a new run — and with nothing canceled or failed,
+	// every run computes.
+	if ctr.CacheHits+ctr.DiskHits+ctr.Coalesced+ctr.Runs != ctr.Submitted {
+		t.Fatalf("ledger unbalanced: %+v", ctr)
+	}
+	if ctr.Computed != ctr.Runs {
+		t.Fatalf("runs %d != computed %d with nothing canceled: %+v", ctr.Runs, ctr.Computed, ctr)
+	}
+	if ctr.DiskHits != 0 {
+		t.Fatalf("disk hits %d without a configured artifact dir", ctr.DiskHits)
+	}
+	// Concurrent identical submissions coalesce instead of racing past the
+	// cache: 24 distinct keys were submitted twice each, so at most 24
+	// computations ran.
+	if ctr.Computed > 24 {
+		t.Fatalf("computed %d runs for 24 distinct keys", ctr.Computed)
 	}
 	// With everything settled, a repeat submission must be a pure hit.
 	j, err := m.Submit(normalized(t, 3, 0))
@@ -84,7 +111,7 @@ func TestManagerConcurrentSubmissions(t *testing.T) {
 }
 
 func TestManagerCancelMidRun(t *testing.T) {
-	m := NewManager(Options{Workers: 2, QueueDepth: 64, JobWorkers: 1})
+	m := newManager(t, Options{Workers: 2, QueueDepth: 64, JobWorkers: 1})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -130,7 +157,7 @@ func TestManagerCancelMidRun(t *testing.T) {
 }
 
 func TestManagerGracefulShutdownUnderLoad(t *testing.T) {
-	m := NewManager(Options{Workers: 4, QueueDepth: 256, JobWorkers: 2})
+	m := newManager(t, Options{Workers: 4, QueueDepth: 256, JobWorkers: 2})
 
 	var jobs []*Job
 	for i := 0; i < 12; i++ {
@@ -196,7 +223,7 @@ func TestManagerGracefulShutdownUnderLoad(t *testing.T) {
 }
 
 func TestManagerQueueFull(t *testing.T) {
-	m := NewManager(Options{Workers: 1, QueueDepth: 1, JobWorkers: 1})
+	m := newManager(t, Options{Workers: 1, QueueDepth: 1, JobWorkers: 1})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()

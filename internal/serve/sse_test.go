@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lscatter/internal/experiments"
+)
+
+// The tests in this file pin the SSE streaming contract on
+// GET /v1/runs/{id}/events: one progress event per finished tag, exactly one
+// trailing end event whose ETag matches the results endpoint, and complete
+// isolation of the producing job from slow or vanishing consumers.
+
+// sseEvent is a parsed "event:"/"data:" frame.
+type sseEvent struct {
+	Type string
+	Data string
+}
+
+// readSSE consumes a stream until its end event (or EOF) and returns the
+// frames in arrival order.
+func readSSE(t *testing.T, body *bufio.Reader) []sseEvent {
+	t.Helper()
+	var evs []sseEvent
+	var cur sseEvent
+	for {
+		line, err := body.ReadString('\n')
+		if err != nil {
+			return evs
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.Type = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.Type != "" {
+				evs = append(evs, cur)
+				if cur.Type == "end" {
+					return evs
+				}
+				cur = sseEvent{}
+			}
+		}
+	}
+}
+
+func streamEvents(t *testing.T, url string) []sseEvent {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	return evs(t, resp)
+}
+
+func evs(t *testing.T, resp *http.Response) []sseEvent {
+	t.Helper()
+	return readSSE(t, bufio.NewReader(resp.Body))
+}
+
+// TestSSEStreamOrdering subscribes before the run finishes and checks the
+// full event grammar: progress rows with monotonically nondecreasing done
+// counts, every tag reported exactly once, then exactly one end event, last.
+func TestSSEStreamOrdering(t *testing.T) {
+	ts, _ := startServer(t, Options{Workers: 1, JobWorkers: 1})
+	doc := submit(t, ts, `{"tags":6,"seed":4242}`)
+
+	events := streamEvents(t, ts.URL+"/v1/runs/"+doc.ID+"/events")
+	if len(events) != 7 {
+		t.Fatalf("streamed %d events for a 6-tag run, want 6 progress + 1 end: %+v", len(events), events)
+	}
+	seen := map[int]bool{}
+	prevDone := 0
+	for i, ev := range events[:6] {
+		if ev.Type != "progress" {
+			t.Fatalf("event %d is %q, want progress", i, ev.Type)
+		}
+		var p struct {
+			Done  int                    `json:"done"`
+			Total int                    `json:"total"`
+			Tag   *experiments.TagReport `json:"tag"`
+		}
+		if err := json.Unmarshal([]byte(ev.Data), &p); err != nil {
+			t.Fatalf("event %d payload: %v\n%s", i, err, ev.Data)
+		}
+		if p.Total != 6 {
+			t.Fatalf("event %d total %d, want 6", i, p.Total)
+		}
+		if p.Done < prevDone {
+			t.Fatalf("done went backwards: %d after %d", p.Done, prevDone)
+		}
+		prevDone = p.Done
+		if p.Tag == nil {
+			t.Fatalf("event %d carries no tag report", i)
+		}
+		if seen[p.Tag.Tag] {
+			t.Fatalf("tag %d reported twice", p.Tag.Tag)
+		}
+		seen[p.Tag.Tag] = true
+	}
+	if prevDone != 6 {
+		t.Fatalf("final progress done %d, want 6", prevDone)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("%d distinct tags reported, want 6", len(seen))
+	}
+
+	last := events[6]
+	if last.Type != "end" {
+		t.Fatalf("final event is %q, want end", last.Type)
+	}
+	var end endEvent
+	if err := json.Unmarshal([]byte(last.Data), &end); err != nil {
+		t.Fatal(err)
+	}
+	if end.State != Done {
+		t.Fatalf("end event state %s: %s", end.State, end.Error)
+	}
+
+	// The end event's ETag is the results endpoint's ETag: an SSE client can
+	// fetch the body it was told about without another status poll.
+	resp, err := http.Get(ts.URL + "/v1/runs/" + doc.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("ETag"); got == "" || got != end.ETag {
+		t.Fatalf("results ETag %q != end event ETag %q", got, end.ETag)
+	}
+}
+
+// TestSSELateSubscriberReplaysBacklog attaches after the run is already done
+// and must still receive the full stream tail, terminated by the end event.
+func TestSSELateSubscriberReplaysBacklog(t *testing.T) {
+	ts, _ := startServer(t, Options{Workers: 1})
+	doc := submit(t, ts, `{"tags":4,"seed":11}`)
+	if st := await(t, ts, doc.ID); st.State != Done {
+		t.Fatalf("run ended %s", st.State)
+	}
+
+	events := streamEvents(t, ts.URL+"/v1/runs/"+doc.ID+"/events")
+	if len(events) != 5 {
+		t.Fatalf("late subscriber got %d events, want 4 progress + 1 end", len(events))
+	}
+	if events[4].Type != "end" {
+		t.Fatalf("late subscriber's last event is %q", events[4].Type)
+	}
+}
+
+// TestSSESlowConsumerNeverStallsJob opens a stream and refuses to read it
+// while the run executes. The job must finish on its own schedule; only then
+// does the consumer drain the backlog.
+func TestSSESlowConsumerNeverStallsJob(t *testing.T) {
+	ts, api := startServer(t, Options{Workers: 1, JobWorkers: 2})
+	doc := submit(t, ts, `{"tags":400,"seed":5}`)
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + doc.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Do not touch resp.Body until the run is terminal. 400 tags of progress
+	// rows overflow any socket buffer a blocked handler could hide behind, so
+	// this only passes when appends never wait on consumers.
+	job, _ := api.Manager().Get(doc.ID)
+	select {
+	case <-job.Finished():
+	case <-time.After(60 * time.Second):
+		t.Fatal("run did not finish while an unread SSE stream was attached")
+	}
+	if st := job.Status(); st.State != Done {
+		t.Fatalf("run ended %s: %s", st.State, st.Error)
+	}
+
+	events := evs(t, resp)
+	if len(events) == 0 || events[len(events)-1].Type != "end" {
+		t.Fatalf("slow consumer drained %d events, last %+v", len(events), events[len(events)-1])
+	}
+}
+
+// TestSSEDisconnectNeverCancelsJob kills the stream mid-run; the run must
+// complete as if nobody had been watching.
+func TestSSEDisconnectNeverCancelsJob(t *testing.T) {
+	ts, api := startServer(t, Options{Workers: 1, JobWorkers: 1})
+	doc := submit(t, ts, `{"tags":2000,"seed":6}`)
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + doc.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a single byte to prove the stream was live, then hang up.
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("stream never produced: %v", err)
+	}
+	resp.Body.Close()
+
+	job, _ := api.Manager().Get(doc.ID)
+	select {
+	case <-job.Finished():
+	case <-time.After(60 * time.Second):
+		t.Fatal("run did not finish after its SSE consumer disconnected")
+	}
+	if st := job.Status(); st.State != Done {
+		t.Fatalf("run ended %s after consumer disconnect: %s", st.State, st.Error)
+	}
+}
+
+// TestSSEUnknownRun404s checks the error path.
+func TestSSEUnknownRun404s(t *testing.T) {
+	ts, _ := startServer(t, Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/runs/run-424242/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run events: %d, want 404", resp.StatusCode)
+	}
+}

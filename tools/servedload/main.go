@@ -1,0 +1,347 @@
+// Command servedload is the make served-load driver: a closed-loop load
+// generator for lscatter-served that mixes the access patterns the serving
+// layer optimizes for — concurrent identical submissions (coalescing),
+// duplicate resubmissions (memory and disk cache hits), unique runs, and a
+// cancel fraction — then reports sustained runs/sec and the hit/coalesce
+// rates read back from /metricsz.
+//
+// Two modes:
+//
+//   - -base http://host:port targets a live server;
+//   - -bin bin/lscatter-served launches its own on an ephemeral port with a
+//     deliberately tiny memory store (-store 1) over a temporary artifact
+//     directory, so duplicate resubmissions of older keys must be served
+//     from disk — exercising all three cache tiers in one run.
+//
+// The -require-coalesce / -require-disk-hits gates turn the report into a
+// smoke check: the run fails unless the respective counters moved, which is
+// how make ci proves coalescing and durable serving work under real
+// concurrency, not just in unit tests.
+//
+// Usage: servedload -bin bin/lscatter-served -duration 5s -require-coalesce -require-disk-hits
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		base      = flag.String("base", "", "base URL of a live server (empty: launch -bin)")
+		bin       = flag.String("bin", "bin/lscatter-served", "binary to launch when -base is empty")
+		duration  = flag.Duration("duration", 5*time.Second, "load duration")
+		burst     = flag.Int("burst", 6, "clients per concurrent-identical burst")
+		tags      = flag.Int("tags", 300, "fleet size of the burst spec (big enough to stay in flight)")
+		cancelMod = flag.Int("cancel-every", 4, "cancel the burst's run every Nth round (0 = never)")
+		reqCoal   = flag.Bool("require-coalesce", false, "fail unless coalesced joins occurred")
+		reqDisk   = flag.Bool("require-disk-hits", false, "fail unless disk hits occurred")
+		minRounds = flag.Int("min-rounds", 2, "fail if fewer full rounds complete")
+	)
+	flag.Parse()
+	if err := run(*base, *bin, *duration, *burst, *tags, *cancelMod, *reqCoal, *reqDisk, *minRounds); err != nil {
+		fmt.Fprintf(os.Stderr, "servedload: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("servedload: OK")
+}
+
+func run(base, bin string, duration time.Duration, burst, tags, cancelMod int, reqCoal, reqDisk bool, minRounds int) error {
+	if base == "" {
+		dir, err := os.MkdirTemp("", "servedload-artifacts-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		srv, err := launch(bin, "-workers", "2", "-queue", "256", "-store", "1", "-artifact-dir", dir)
+		if err != nil {
+			return err
+		}
+		defer srv.cmd.Process.Kill()
+		defer srv.sigterm()
+		base = srv.base
+	}
+
+	before, err := metrics(base)
+	if err != nil {
+		return err
+	}
+
+	// The workload: rounds of (a) a coalesce burst — `burst` goroutines
+	// submit the identical fresh spec concurrently; (b) a duplicate
+	// resubmission of the PREVIOUS round's spec, which a -store 1 server can
+	// only serve from disk; (c) a unique small run; (d) every cancel-every'th
+	// round, the burst run is canceled instead of awaited.
+	start := time.Now()
+	deadline := start.Add(duration)
+	rounds := 0
+	var clientErr error
+	for round := 0; time.Now().Before(deadline); round++ {
+		burstSpec := fmt.Sprintf(`{"tags":%d,"seed":%d}`, tags, 10_000+round)
+		cancelRound := cancelMod > 0 && round%cancelMod == cancelMod-1
+
+		var wg sync.WaitGroup
+		ids := make([]string, burst)
+		errs := make([]error, burst)
+		for c := 0; c < burst; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				sub, err := submit(base, burstSpec)
+				ids[c], errs[c] = sub.ID, err
+			}(c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				clientErr = err
+			}
+		}
+		if clientErr != nil {
+			break
+		}
+
+		if cancelRound {
+			// One DELETE per distinct job id; coalesced ids alias the same
+			// run, so canceling each waiter tears the whole flight down.
+			for _, id := range ids {
+				cancel(base, id)
+			}
+		} else if err := awaitDone(base, ids[0], 60*time.Second); err != nil {
+			clientErr = err
+			break
+		}
+
+		prevCanceled := cancelMod > 0 && (round-1)%cancelMod == cancelMod-1
+		if round > 0 && !prevCanceled {
+			prev := fmt.Sprintf(`{"tags":%d,"seed":%d}`, tags, 10_000+round-1)
+			if _, err := submit(base, prev); err != nil {
+				clientErr = err
+				break
+			}
+		}
+		if _, err := submit(base, fmt.Sprintf(`{"tags":2,"seed":%d}`, 90_000+round)); err != nil {
+			clientErr = err
+			break
+		}
+		rounds++
+	}
+	elapsed := time.Since(start)
+	if clientErr != nil {
+		return clientErr
+	}
+
+	after, err := metrics(base)
+	if err != nil {
+		return err
+	}
+	submitted := after.Jobs.Submitted - before.Jobs.Submitted
+	computed := after.Jobs.Computed - before.Jobs.Computed
+	cacheHits := after.Jobs.CacheHits - before.Jobs.CacheHits
+	diskHits := after.Jobs.DiskHits - before.Jobs.DiskHits
+	coalesced := after.Jobs.Coalesced - before.Jobs.Coalesced
+
+	rate := func(n int) float64 {
+		if submitted == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(submitted)
+	}
+	fmt.Printf("servedload: %d rounds, %d submissions in %.2fs\n", rounds, submitted, elapsed.Seconds())
+	fmt.Printf("servedload: %.1f runs/sec sustained (%d computed)\n", float64(computed)/elapsed.Seconds(), computed)
+	fmt.Printf("servedload: coalesced %d (%.1f%%), memory hits %d (%.1f%%), disk hits %d (%.1f%%)\n",
+		coalesced, rate(coalesced), cacheHits, rate(cacheHits), diskHits, rate(diskHits))
+
+	if rounds < minRounds {
+		return fmt.Errorf("only %d full rounds in %s, want >= %d", rounds, duration, minRounds)
+	}
+	if reqCoal && coalesced == 0 {
+		return fmt.Errorf("no coalesced joins under %d-way identical bursts", burst)
+	}
+	if reqDisk && diskHits == 0 {
+		return fmt.Errorf("no disk hits despite -store 1 over an artifact dir")
+	}
+	return nil
+}
+
+type server struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+func launch(bin string, extra ...string) (*server, error) {
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain", "10s"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", bin, err)
+	}
+	base, err := readBaseURL(stdout)
+	if err != nil {
+		cmd.Process.Kill()
+		return nil, err
+	}
+	go io.Copy(io.Discard, stdout)
+	if err := waitHealthy(base, 5*time.Second); err != nil {
+		cmd.Process.Kill()
+		return nil, err
+	}
+	return &server{cmd: cmd, base: base}, nil
+}
+
+func (s *server) sigterm() {
+	s.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { s.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		s.cmd.Process.Kill()
+	}
+}
+
+type submitDoc struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	CacheHit  bool   `json:"cache_hit"`
+	StatusURL string `json:"status_url"`
+}
+
+func submit(base, spec string) (submitDoc, error) {
+	resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return submitDoc{}, fmt.Errorf("submit: %w", err)
+	}
+	var sub submitDoc
+	if err := decodeInto(resp, http.StatusAccepted, &sub); err != nil {
+		return submitDoc{}, fmt.Errorf("submit: %w", err)
+	}
+	return sub, nil
+}
+
+func cancel(base, id string) {
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/runs/"+id, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+func awaitDone(base, id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/runs/" + id)
+		if err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := decodeInto(resp, http.StatusOK, &st); err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+		switch st.State {
+		case "done":
+			return nil
+		case "failed", "canceled":
+			return fmt.Errorf("run %s ended %s: %s", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("run %s still %s after %s", id, st.State, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+type metricsDoc struct {
+	Jobs struct {
+		Submitted int `json:"submitted"`
+		Computed  int `json:"computed"`
+		CacheHits int `json:"cache_hits"`
+		DiskHits  int `json:"disk_hits"`
+		Coalesced int `json:"coalesced"`
+		Canceled  int `json:"canceled"`
+	} `json:"jobs"`
+}
+
+func metrics(base string) (metricsDoc, error) {
+	resp, err := http.Get(base + "/metricsz")
+	if err != nil {
+		return metricsDoc{}, fmt.Errorf("metricsz: %w", err)
+	}
+	var met metricsDoc
+	if err := decodeInto(resp, http.StatusOK, &met); err != nil {
+		return metricsDoc{}, fmt.Errorf("metricsz: %w", err)
+	}
+	return met, nil
+}
+
+func readBaseURL(stdout io.Reader) (string, error) {
+	sc := bufio.NewScanner(stdout)
+	lineCh := make(chan string, 1)
+	go func() {
+		if sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+	}()
+	select {
+	case line, ok := <-lineCh:
+		if !ok {
+			return "", fmt.Errorf("server exited before printing its address")
+		}
+		const marker = "listening on "
+		i := strings.Index(line, marker)
+		if i < 0 {
+			return "", fmt.Errorf("unexpected banner %q", line)
+		}
+		return strings.TrimSpace(line[i+len(marker):]), nil
+	case <-time.After(10 * time.Second):
+		return "", fmt.Errorf("server did not print its address within 10s")
+	}
+}
+
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("healthz not ready within %s", timeout)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func decodeInto(resp *http.Response, wantStatus int, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("status %d (want %d): %s", resp.StatusCode, wantStatus, body)
+	}
+	return json.Unmarshal(body, v)
+}

@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench bench-compare rtf rtf-check figures examples examples-check served-check served-load cover clean
+.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench bench-compare rtf rtf-check fleet-check figures examples examples-check served-check served-load cover clean
 
 all: vet test
 
 # The full gate a PR must pass: vet, the suite under the race detector, the
 # doc-comment check, the example-stdout goldens, the real-time-factor
-# regression gate and both server smokes (end-to-end crash/restart, then
-# load with required coalesce + disk-hit evidence). Run it before pushing.
-ci: vet race docs-check examples-check rtf-check served-check served-load
+# regression gate, the fleet-engine scaling gate and both server smokes
+# (end-to-end crash/restart, then load with required coalesce + disk-hit
+# evidence). Run it before pushing.
+ci: vet race docs-check examples-check rtf-check fleet-check served-check served-load
 
 test:
 	$(GO) test ./...
@@ -62,8 +63,8 @@ bench:
 # Diff two `lscatter-bench -metrics` reports (override OLD/NEW to compare
 # other runs); fails on an allocation regression beyond the threshold in
 # tools/benchdiff.
-OLD ?= BENCH_R1.json
-NEW ?= BENCH_R2.json
+OLD ?= BENCH_R2.json
+NEW ?= BENCH_R3.json
 bench-compare:
 	sh tools/benchdiff.sh $(OLD) $(NEW)
 
@@ -76,9 +77,16 @@ rtf:
 # baseline in BENCH_R2.json (override RTF_BASELINE to gate against another
 # report). The absolute 10x target is advisory here because CI hardware
 # differs; enforce it with `go run ./tools/rtfcheck -require-target`.
-RTF_BASELINE ?= BENCH_R2.json
+RTF_BASELINE ?= BENCH_R3.json
 rtf-check:
 	$(GO) run ./tools/rtfcheck $(RTF_BASELINE)
+
+# The fleet-engine gate: fleet and simlink tests under the race detector,
+# then the parked-heavy scaling smoke — a 10x-larger fleet at fixed aggregate
+# load must not cost more than 3x the wall time (see docs/FLEET.md).
+fleet-check:
+	$(GO) test -race -count=1 ./internal/fleet ./internal/simlink
+	$(GO) run ./tools/fleetcheck
 
 examples:
 	$(GO) run ./examples/quickstart

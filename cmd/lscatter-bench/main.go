@@ -26,17 +26,24 @@
 // chain run through the off/mild/moderate/severe fault-injection ladder,
 // reporting BER, throughput and carrier-loop re-acquisitions per level; see
 // docs/RESILIENCE.md.
+//
+// -fleet runs the event-driven fleet engine standalone (see docs/FLEET.md):
+// a single shared-channel cell of -fleet-tags tags under -fleet-mac
+// arbitration for -fleet-minutes simulated minutes, printing the delivery,
+// collision and latency report. The city-scale artifact itself is -id C1.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"time"
 
 	"lscatter/internal/experiments"
+	"lscatter/internal/fleet"
 )
 
 // writeMetrics serializes the run report to path.
@@ -63,6 +70,12 @@ func main() {
 		impaired = flag.Bool("impair", false, "run the link-resilience sweep (shorthand for -id R1)")
 		rtf      = flag.Bool("rtf", false, "measure the transport real-time factor at 20 MHz")
 		rtfSF    = flag.Int("rtf-subframes", 0, "timed subframes for -rtf (0 = default 2000)")
+
+		fleetRun     = flag.Bool("fleet", false, "run the event-driven fleet engine standalone")
+		fleetTags    = flag.Int("fleet-tags", 1_000_000, "fleet size for -fleet")
+		fleetMAC     = flag.String("fleet-mac", "capture", "MAC for -fleet: tdma, aloha or capture")
+		fleetMinutes = flag.Float64("fleet-minutes", 1, "simulated minutes for -fleet")
+		fleetLoad    = flag.Float64("fleet-load", 0.2, "offered load for -fleet, messages per tag per hour")
 	)
 	flag.Parse()
 
@@ -83,6 +96,36 @@ func main() {
 	}
 
 	switch {
+	case *fleetRun:
+		mac, err := fleet.ParseMAC(*fleetMAC)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep := fleet.Simulate(fleet.SimConfig{
+			Config:        fleet.Config{MAC: mac, Seed: *seed},
+			Tags:          *fleetTags,
+			DurationSec:   *fleetMinutes * 60,
+			MsgPerTagHour: *fleetLoad,
+			// A deterministic 20 dB near/far power spread, so capture
+			// arbitration has something to arbitrate. The venue-calibrated
+			// link budgets live in artifact C1.
+			NoiseW: 1e-13,
+			RxPowerW: func(tag int) float64 {
+				return 1e-9 * math.Pow(10, -float64(tag%64)/32)
+			},
+		})
+		wall := time.Since(start)
+		fmt.Printf("fleet: %d tags, mac=%s, %.1f min simulated\n", rep.Tags, mac, *fleetMinutes)
+		fmt.Printf("  offered %d  delivered %d  dropped %d  backlog %d\n",
+			rep.Arrivals, rep.Delivered, rep.Dropped, rep.Backlog)
+		fmt.Printf("  active slots %d  collisions %d (%.1f%%)  capture wins %d\n",
+			rep.ActiveSlots, rep.Collisions, rep.CollisionRate*100, rep.CaptureWins)
+		fmt.Printf("  goodput %.0f bps  latency p50/p90/p99 %.0f/%.0f/%.0f ms\n",
+			rep.GoodputBps, rep.LatencyMsP50, rep.LatencyMsP90, rep.LatencyMsP99)
+		fmt.Printf("  events %d  wall %s (%.0f events/s)\n",
+			rep.Events, wall.Round(time.Millisecond), float64(rep.Events)/wall.Seconds())
 	case *list:
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 	case *all:

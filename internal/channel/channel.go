@@ -250,11 +250,18 @@ func (h *Hop) PowerGainDB() float64 {
 	return -h.PL.LossDB(h.Distance) + h.AntennaGainDB - h.ExtraLossDB
 }
 
+// Gain returns the hop's complex amplitude coefficient: the linear amplitude
+// gain times the hop's random carrier phase. For a fading-free hop, Apply is
+// exactly a multiply by this coefficient, which is what lets a fleet-scale
+// consumer collapse many parked-tag paths into one closed-form scalar.
+func (h *Hop) Gain() complex128 {
+	return complex(math.Pow(10, h.PowerGainDB()/20), 0) * h.phase
+}
+
 // Apply propagates x through the hop into a fresh slice.
 func (h *Hop) Apply(x []complex128) []complex128 {
-	g := math.Pow(10, h.PowerGainDB()/20)
 	out := make([]complex128, len(x))
-	gain := complex(g, 0) * h.phase
+	gain := h.Gain()
 	for i, v := range x {
 		out[i] = v * gain
 	}

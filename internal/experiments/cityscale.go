@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"lscatter/internal/channel"
+	"lscatter/internal/core"
+	"lscatter/internal/fleet"
+	"lscatter/internal/ltephy"
+	"lscatter/internal/traffic"
+)
+
+func init() { register("C1", RunCityScale) }
+
+// cityVenue is one venue cluster of the million-tag city fleet: a tag
+// population sharing a venue's link budget and diurnal demand shape, spread
+// over a range of tag-to-UE distances.
+type cityVenue struct {
+	venue traffic.Venue
+	link  core.LinkConfig
+	tags  int
+	// Tag-to-UE distance range in feet; tags are spread deterministically
+	// across it.
+	minFt, maxFt float64
+	// msgPerTagHour is each tag's mean offered load at activity 1.
+	msgPerTagHour float64
+}
+
+// cityVenues splits the 10^6-tag fleet across the paper's three deployment
+// venues (§4.3-§4.5), with per-venue demand calibrated so the busiest venue
+// saturates its shared channel at peak hour while the others stay below the
+// ALOHA knee — the regime where capture arbitration earns its keep.
+func cityVenues(seed uint64) []cityVenue {
+	return []cityVenue{
+		{traffic.Home, homeLink(seed), 500_000, 3, 20, 0.6},
+		{traffic.Mall, mallLink(seed, 30), 300_000, 10, 100, 2.0},
+		{traffic.Outdoor, outdoorLink(seed, 60), 200_000, 20, 200, 0.9},
+	}
+}
+
+// cityHours are the representative hours-of-day sampled by the artifact:
+// night trough, morning ramp, afternoon peak, evening shoulder.
+var cityHours = []float64{3, 10, 15, 20}
+
+// citySimConfig translates a venue cluster into a fleet engine config: the
+// backscatter link budget collapses to a per-tag received power (the
+// semi-analytic scatDBm of core, as a closed form over distance), the venue's
+// WiFi diurnal profile shapes arrivals, and one 5 ms slot carries one
+// backscatter burst.
+func citySimConfig(v cityVenue, seed uint64) fleet.SimConfig {
+	cfg := v.link
+	pl := channel.PathLoss{FreqHz: cfg.CarrierHz, Exponent: cfg.PathLossExponent}
+	incidentDBm := cfg.TxPowerDBm - pl.LossDB(cfg.ENodeBToTagM) + cfg.ENodeBAntennaDB + cfg.TagAntennaDB
+	// Backscatter power at 1 m tag-to-UE distance; the per-tag power scales
+	// it by d^-exponent without re-deriving the budget per call.
+	at1mDBm := incidentDBm - cfg.TagLossDB - pl.LossDB(1) +
+		cfg.TagAntennaDB + cfg.UEAntennaDB - core.DSBHarmonicLossDB - core.CleanBinLossDB
+	w1 := channel.DBmToWatts(at1mDBm)
+	minM, maxM := channel.FeetToMeters(v.minFt), channel.FeetToMeters(v.maxFt)
+	exp := cfg.PathLossExponent
+
+	occupied := float64(cfg.BW.Subcarriers()) * ltephy.SubcarrierSpacing
+	slotSec := 0.005
+	venue := v.venue
+
+	return fleet.SimConfig{
+		Config: fleet.Config{
+			MAC:  fleet.AlohaCapture,
+			Seed: DeriveSeed(seed, "cityscale-"+venue.String()),
+		},
+		Tags:          v.tags,
+		SlotSec:       slotSec,
+		MsgPerTagHour: v.msgPerTagHour,
+		Activity:      func(hour float64) float64 { return traffic.VenueActivity(venue, hour) },
+		MsgBits:       int(core.RawBackscatterRate(cfg.BW) * slotSec),
+		RxPowerW: func(tag int) float64 {
+			// Deterministic distance ramp across the venue's range: the tag
+			// index picks a position, so capture always has a power spread.
+			d := minM + (maxM-minM)*float64(tag%4096)/4096
+			return w1 * math.Pow(d, -exp)
+		},
+		NoiseW: channel.NoiseFloorW(occupied, cfg.NoiseFigureDB),
+	}
+}
+
+// RunCityScale regenerates artifact C1: a million-tag city — the three paper
+// venues as shared-channel clusters — swept over four representative hours of
+// the diurnal cycle by the event-driven fleet engine. No waveforms are
+// synthesized; delivery resolves through each venue's link budget and
+// capture-threshold arbitration, and the engine's cost is O(events), not
+// O(tags x slots).
+func RunCityScale(seed uint64) *Result {
+	res := &Result{
+		ID:    "C1",
+		Title: "City-scale fleet: 10^6 tags, 3 venues, diurnal demand (event-driven engine)",
+		Header: []string{"venue", "tags", "hour", "offered", "delivered", "dropped",
+			"coll%", "capture", "goodput", "lat p50", "lat p99", "events"},
+	}
+
+	venues := cityVenues(seed)
+	const windowSec = 60
+
+	var totTags int
+	var tot fleet.Report
+	var slotTagProduct float64
+	for _, v := range venues {
+		sim := fleet.NewSim(citySimConfig(v, seed))
+		totTags += v.tags
+		for _, hour := range cityHours {
+			rep := sim.Run(hour, windowSec)
+			res.Rows = append(res.Rows, []string{
+				v.venue.String(),
+				fmt.Sprintf("%d", v.tags),
+				fmt.Sprintf("%02.0f:00", hour),
+				fmt.Sprintf("%d", rep.Arrivals),
+				fmt.Sprintf("%d", rep.Delivered),
+				fmt.Sprintf("%d", rep.Dropped),
+				f1(rep.CollisionRate * 100),
+				fmt.Sprintf("%d", rep.CaptureWins),
+				fbps(rep.GoodputBps),
+				f1(rep.LatencyMsP50) + " ms",
+				f1(rep.LatencyMsP99) + " ms",
+				fmt.Sprintf("%d", rep.Events),
+			})
+			tot.Arrivals += rep.Arrivals
+			tot.Delivered += rep.Delivered
+			tot.Dropped += rep.Dropped
+			tot.Collisions += rep.Collisions
+			tot.ActiveSlots += rep.ActiveSlots
+			tot.CaptureWins += rep.CaptureWins
+			tot.GoodputBps += rep.GoodputBps
+			tot.Events += rep.Events
+			slotTagProduct += float64(rep.Slots) * float64(v.tags)
+		}
+	}
+	collPct := 0.0
+	if tot.ActiveSlots > 0 {
+		collPct = float64(tot.Collisions) / float64(tot.ActiveSlots) * 100
+	}
+	res.Rows = append(res.Rows, []string{
+		"city", fmt.Sprintf("%d", totTags), "all",
+		fmt.Sprintf("%d", tot.Arrivals),
+		fmt.Sprintf("%d", tot.Delivered),
+		fmt.Sprintf("%d", tot.Dropped),
+		f1(collPct),
+		fmt.Sprintf("%d", tot.CaptureWins),
+		fbps(tot.GoodputBps / float64(len(cityHours))),
+		"-", "-",
+		fmt.Sprintf("%d", tot.Events),
+	})
+
+	// The ALOHA-vs-capture ablation at the busiest cell: same mall fleet at
+	// the evening peak, capture arbitration disabled.
+	mall := venues[1]
+	capRep := fleet.Simulate(func() fleet.SimConfig {
+		c := citySimConfig(mall, seed)
+		c.StartHour, c.DurationSec = 20, windowSec
+		return c
+	}())
+	alohaRep := fleet.Simulate(func() fleet.SimConfig {
+		c := citySimConfig(mall, seed)
+		c.MAC = fleet.Aloha
+		c.StartHour, c.DurationSec = 20, windowSec
+		return c
+	}())
+
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("event-driven engine processed %d heap events for a %.1e slot-tag product (%.0fx below per-slot-per-tag work)",
+			tot.Events, slotTagProduct, slotTagProduct/float64(maxInt64(tot.Events, 1))),
+		fmt.Sprintf("capture arbitration at the mall evening peak: %d delivered vs %d under plain slotted ALOHA (%.1fx)",
+			capRep.Delivered, alohaRep.Delivered, float64(capRep.Delivered)/float64(maxInt64(alohaRep.Delivered, 1))),
+		fmt.Sprintf("city goodput averages %s across the sampled hours on three shared 20 MHz channels", fbps(tot.GoodputBps/float64(len(cityHours)))),
+	)
+	return res
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -36,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"T1", "F4a", "F4b", "F4c", "F8", "F12", "F16", "F17", "F18",
 		"F19", "F21", "F22", "F23", "F24", "F26", "F27", "F28", "F29", "F30",
 		"F31", "F32", "F33b", "P48", "A1", "A2", "A3", "A4", "A5", "V1",
-		"F3", "I1", "M1", "R1"}
+		"F3", "I1", "M1", "R1", "C1"}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {
 			t.Errorf("artifact %s not registered", id)

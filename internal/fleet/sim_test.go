@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"testing"
+)
+
+func simBase() SimConfig {
+	return SimConfig{
+		Config:        Config{MAC: AlohaCapture, Seed: 11},
+		Tags:          200,
+		DurationSec:   30,
+		MsgPerTagHour: 60,
+		MsgBits:       96,
+		NoiseW:        1e-12,
+		RxPowerW:      func(tag int) float64 { return 1e-9 / float64(1+tag%10) },
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := Simulate(simBase())
+	b := Simulate(simBase())
+	if a != b {
+		t.Fatalf("same config, different reports:\n%+v\n%+v", a, b)
+	}
+	if a.Arrivals == 0 || a.Delivered == 0 {
+		t.Fatalf("degenerate run: %+v", a)
+	}
+}
+
+func TestSimulateConservation(t *testing.T) {
+	rep := Simulate(simBase())
+	// Every offered message is delivered, dropped, or still queued.
+	if rep.Delivered+rep.Dropped+rep.Backlog != rep.Arrivals {
+		t.Fatalf("message conservation: %d delivered + %d dropped + %d backlog != %d arrivals",
+			rep.Delivered, rep.Dropped, rep.Backlog, rep.Arrivals)
+	}
+	if rep.LatencyMsP50 <= 0 || rep.LatencyMsP99 < rep.LatencyMsP50 {
+		t.Fatalf("latency percentiles out of order: %+v", rep)
+	}
+	if rep.GoodputBps <= 0 {
+		t.Fatalf("no goodput: %+v", rep)
+	}
+}
+
+func TestSimulateCaptureBeatsAloha(t *testing.T) {
+	cfg := simBase()
+	cfg.Tags = 500
+	cfg.MsgPerTagHour = 2880 // ~2x slot capacity: overlaps are the norm
+	aloha := cfg
+	aloha.MAC = Aloha
+	capture := cfg
+	capture.MAC = AlohaCapture
+
+	ra := Simulate(aloha)
+	rc := Simulate(capture)
+	if rc.CaptureWins == 0 {
+		t.Fatalf("capture run never captured: %+v", rc)
+	}
+	if rc.Delivered <= ra.Delivered {
+		t.Fatalf("capture should deliver more than plain ALOHA under load: capture %d <= aloha %d",
+			rc.Delivered, ra.Delivered)
+	}
+	if rc.CollisionRate >= ra.CollisionRate {
+		t.Fatalf("capture should lower the collision rate: capture %.3f >= aloha %.3f",
+			rc.CollisionRate, ra.CollisionRate)
+	}
+}
+
+func TestSimulateTDMALatencyScalesWithFleet(t *testing.T) {
+	mk := func(tags int) Report {
+		cfg := simBase()
+		cfg.MAC = TDMA
+		cfg.Tags = tags
+		cfg.TotalMsgPerSec = 20
+		cfg.MsgPerTagHour = 0
+		return Simulate(cfg)
+	}
+	small := mk(100)
+	big := mk(10000)
+	// A TDMA turn is O(fleet size) slots away: the big fleet's median
+	// latency must dwarf the small fleet's.
+	if big.LatencyMsP50 < 4*small.LatencyMsP50 {
+		t.Fatalf("TDMA latency should grow with fleet size: %v ms (100 tags) vs %v ms (10k tags)",
+			small.LatencyMsP50, big.LatencyMsP50)
+	}
+}
+
+func TestSimulateParkedHeavyEventCount(t *testing.T) {
+	// Fixed total offered load: growing the fleet 10x parks 10x more tags
+	// but must not grow the event count (the O(active) claim at the
+	// bookkeeping level). Allow 2x slack for backoff pattern differences.
+	mk := func(tags int) Report {
+		cfg := simBase()
+		cfg.Tags = tags
+		cfg.TotalMsgPerSec = 50
+		cfg.MsgPerTagHour = 0
+		return Simulate(cfg)
+	}
+	small := mk(1000)
+	big := mk(10000)
+	if small.Events == 0 || big.Events == 0 {
+		t.Fatalf("degenerate event counts: %d, %d", small.Events, big.Events)
+	}
+	if big.Events > 2*small.Events {
+		t.Fatalf("event count grew with parked fleet size: %d (1k tags) -> %d (10k tags)",
+			small.Events, big.Events)
+	}
+}
+
+func TestSimulateDiurnalActivityShapesLoad(t *testing.T) {
+	mk := func(hour float64) Report {
+		cfg := simBase()
+		cfg.Tags = 1000
+		cfg.MsgPerTagHour = 30
+		cfg.StartHour = hour
+		cfg.DurationSec = 60
+		cfg.Activity = func(h float64) float64 {
+			// Daytime box: busy 9-17h, nearly idle otherwise.
+			hh := h - 24*float64(int(h/24))
+			if hh >= 9 && hh < 17 {
+				return 1
+			}
+			return 0.02
+		}
+		return Simulate(cfg)
+	}
+	day := mk(12)
+	night := mk(3)
+	if day.Arrivals < 10*night.Arrivals {
+		t.Fatalf("diurnal thinning: day %d arrivals vs night %d", day.Arrivals, night.Arrivals)
+	}
+}

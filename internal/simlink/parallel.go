@@ -1,6 +1,7 @@
 package simlink
 
 import (
+	"sort"
 	"sync"
 
 	"lscatter/internal/channel"
@@ -89,17 +90,42 @@ func (w pwave) applyRest(rest PathStage, lane Lane) pwave {
 	return pwave{f: rest.Apply(w.f)}
 }
 
-// plContrib is one tag's reflection within a job.
+// contribKind says how one entry of a job's contribution list turns into a
+// propagation path.
+type contribKind uint8
+
+const (
+	// contribOwner is the scheduled transmitter: it modulates payload and
+	// its symbol records land on the Frame.
+	contribOwner contribKind = iota
+	// contribInterferer is an additional concurrent transmitter named by a
+	// TagBank (a capture loser): modulated per sample, records dropped.
+	contribInterferer
+	// contribParked is a per-sample parked-switch echo.
+	contribParked
+	// contribAggregate is the closed-form parked remainder: one
+	// ambient*scale path standing in for every analytically-advanced tag.
+	contribAggregate
+)
+
+// plContrib is one tag's reflection within a job (or, for contribAggregate,
+// the whole parked remainder's).
 type plContrib struct {
 	tagIdx int
-	owner  bool
-	plan   tag.Plan
-	raw    pwave // reflection before the tag's path (kept for the tap)
-	out    pwave // reflection after the parallel-safe path prefix
+	kind   contribKind
+	scale  complex128 // contribAggregate only
+	plan   tag.Plan   // contribOwner / contribInterferer only
+	raw    pwave      // reflection before the tag's path (kept for the tap)
+	out    pwave      // reflection after the parallel-safe path prefix
+}
+
+// modulates reports whether the contribution runs the tag's modulator.
+func (c *plContrib) modulates() bool {
+	return c.kind == contribOwner || c.kind == contribInterferer
 }
 
 // plJob is one subframe in flight: planned in order, worked on by any
-// worker, merged in order.
+// worker, merged in order. done is non-nil only under RunParallel.
 type plJob struct {
 	f        *Frame
 	sf       *enodeb.Subframe
@@ -108,8 +134,28 @@ type plJob struct {
 	done     chan struct{}
 }
 
+// planTag performs the stateful per-tag front half for one transmitting tag
+// — payload feed, per-burst jitter draw, modulation planning — and appends
+// its contribution. Owner records land on the Frame.
+func (s *Session) planTag(j *plJob, f *Frame, i int, kind contribKind) {
+	t := s.Tags[i]
+	if t.Feed != nil {
+		t.Feed(f.N, t.Mod)
+	}
+	if t.Jitter != nil && f.Burst {
+		t.Mod.SetTimingError(t.base() + t.Jitter.Next())
+	}
+	pl := t.Mod.PlanSubframe(j.sf.Index, f.Burst)
+	if kind == contribOwner {
+		f.Records = pl.Records
+	}
+	j.contribs = append(j.contribs, plContrib{tagIdx: i, kind: kind, plan: pl})
+}
+
 // planJob performs the stateful front half of Step for one subframe: source
-// advance, ownership, payload feed, jitter draw, modulation planning.
+// advance, ownership (built-in TDMA or the pluggable TagBank), payload feed,
+// jitter draw, modulation planning. It is the single owner/park dispatch
+// point shared by Run, RunParallel and the fleet bank.
 func (s *Session) planJob() *plJob {
 	sf := s.Source.NextSubframe()
 	f := &Frame{
@@ -119,27 +165,46 @@ func (s *Session) planJob() *plJob {
 		Owner:    -1,
 	}
 	s.n++
+	j := &plJob{f: f, sf: sf}
+
+	if s.Bank != nil {
+		bp := s.Bank.PlanSubframe(f.N, f.Burst)
+		f.Owner = bp.Owner
+		if bp.Owner >= 0 {
+			s.planTag(j, f, bp.Owner, contribOwner)
+		}
+		for _, i := range bp.Interferers {
+			s.planTag(j, f, i, contribInterferer)
+		}
+		for _, i := range bp.ParkFull {
+			j.contribs = append(j.contribs, plContrib{tagIdx: i, kind: contribParked})
+		}
+		// Per-tag contributions combine in tag-index order — the same
+		// order the built-in stage uses — so a bank that full-simulates a
+		// subset produces the built-in stage's float summation exactly.
+		// The closed-form aggregate, standing in for every remaining
+		// parked tag, sums last.
+		sort.Slice(j.contribs, func(a, b int) bool {
+			return j.contribs[a].tagIdx < j.contribs[b].tagIdx
+		})
+		if bp.ParkScale != 0 {
+			j.contribs = append(j.contribs, plContrib{tagIdx: -1, kind: contribAggregate, scale: bp.ParkScale})
+		}
+		return j
+	}
+
 	if len(s.Tags) > 0 {
 		f.Owner = 0
 		if s.Owner != nil {
 			f.Owner = s.Owner(f.N)
 		}
 	}
-	j := &plJob{f: f, sf: sf, done: make(chan struct{})}
 	for i, t := range s.Tags {
 		switch {
 		case i == f.Owner:
-			if t.Feed != nil {
-				t.Feed(f.N, t.Mod)
-			}
-			if t.Jitter != nil && f.Burst {
-				t.Mod.SetTimingError(t.base() + t.Jitter.Next())
-			}
-			pl := t.Mod.PlanSubframe(sf.Index, f.Burst)
-			f.Records = pl.Records
-			j.contribs = append(j.contribs, plContrib{tagIdx: i, owner: true, plan: pl})
+			s.planTag(j, f, i, contribOwner)
 		case t.Park:
-			j.contribs = append(j.contribs, plContrib{tagIdx: i})
+			j.contribs = append(j.contribs, plContrib{tagIdx: i, kind: contribParked})
 		}
 	}
 	return j
@@ -161,9 +226,13 @@ func (s *Session) workJob(j *plJob, directPure PathStage, tagPure []PathStage) {
 		}
 		for k := range j.contribs {
 			c := &j.contribs[k]
+			if c.kind == contribAggregate {
+				c.out = pwave{x: gainStage{g: c.scale}.ApplyFxp(amb)}
+				continue
+			}
 			t := s.Tags[c.tagIdx]
 			var refl *fxp.Buf
-			if c.owner {
+			if c.modulates() {
 				refl = t.Mod.ApplyPlanFxp(amb, c.plan)
 			} else {
 				refl = t.Mod.ParkedSubframeFxp(amb)
@@ -187,9 +256,13 @@ func (s *Session) workJob(j *plJob, directPure PathStage, tagPure []PathStage) {
 	}
 	for k := range j.contribs {
 		c := &j.contribs[k]
+		if c.kind == contribAggregate {
+			c.out = pwave{f: gainStage{g: c.scale}.Apply(j.sf.Samples)}
+			continue
+		}
 		t := s.Tags[c.tagIdx]
 		var refl []complex128
-		if c.owner {
+		if c.modulates() {
 			refl = t.Mod.ApplyPlan(j.sf.Samples, c.plan)
 		} else {
 			refl = t.Mod.ParkedSubframe(j.sf.Samples)
@@ -220,6 +293,13 @@ func (s *Session) mergeJob(j *plJob, directRest PathStage, tagRest []PathStage) 
 	}
 	for k := range j.contribs {
 		c := &j.contribs[k]
+		if c.kind == contribAggregate {
+			// The analytic parked remainder belongs to no single tag: its
+			// path gains are already folded into the scale, and the
+			// per-tag Reflected tap does not see it.
+			paths = append(paths, c.out)
+			continue
+		}
 		if s.Taps.Reflected != nil {
 			raw := c.raw.f
 			if fixedPoint {
@@ -273,12 +353,9 @@ func (s *Session) RunParallel(n, workers int) {
 		s.Run(n)
 		return
 	}
-	directPure, directRest := splitPath(s.Direct)
-	tagPure := make([]PathStage, len(s.Tags))
-	tagRest := make([]PathStage, len(s.Tags))
-	for i, t := range s.Tags {
-		tagPure[i], tagRest[i] = splitPath(t.Path)
-	}
+	s.prepare()
+	directPure, directRest := s.directPure, s.directRest
+	tagPure, tagRest := s.tagPure, s.tagRest
 
 	jobs := make(chan *plJob, workers)
 	var wg sync.WaitGroup
@@ -300,6 +377,7 @@ func (s *Session) RunParallel(n, workers int) {
 	}
 	for i := 0; i < n; i++ {
 		j := s.planJob()
+		j.done = make(chan struct{})
 		jobs <- j
 		inflight = append(inflight, j)
 		if len(inflight) >= 2*workers {

@@ -148,9 +148,43 @@ type Session struct {
 	// impairments on Q1.15 buffers (same RNG streams, same draw order). See
 	// docs/PERFORMANCE.md for when each lane is the right choice.
 	Lane Lane
+	// Bank, when set, replaces the built-in TDMA tag stage with an external
+	// fleet scheduler: it decides per subframe which tags transmit (and are
+	// full-simulated) and hands the engine a closed-form coefficient for
+	// the parked rest, making the tag stage O(transmitting tags) instead of
+	// O(all tags). Owner and each Tag's Park flag are ignored while a Bank
+	// is installed. internal/fleet provides the implementation; see
+	// docs/FLEET.md.
+	Bank TagBank
 
 	n     int
 	start int
+
+	// Cached pure/stateful path splits (see parallel.go). A Session's stage
+	// wiring is fixed after construction, so they are computed once on
+	// first Step/RunParallel.
+	prepared   bool
+	directPure PathStage
+	directRest PathStage
+	tagPure    []PathStage
+	tagRest    []PathStage
+}
+
+// prepare caches the parallel-safe/stateful split of the direct and per-tag
+// paths. Wiring (Direct, Tags and their Paths) must not change once the
+// session has started stepping — which the "single-stream sequential state"
+// contract already implies.
+func (s *Session) prepare() {
+	if s.prepared {
+		return
+	}
+	s.directPure, s.directRest = splitPath(s.Direct)
+	s.tagPure = make([]PathStage, len(s.Tags))
+	s.tagRest = make([]PathStage, len(s.Tags))
+	for i, t := range s.Tags {
+		s.tagPure[i], s.tagRest[i] = splitPath(t.Path)
+	}
+	s.prepared = true
 }
 
 // Subframes returns how many subframes the session has advanced.
@@ -160,160 +194,16 @@ func (s *Session) Subframes() int { return s.n }
 func (s *Session) StartSample() int { return s.start }
 
 // Step advances the chain by one subframe and returns the consumed Frame.
+// Both lanes run the same three phases the subframe-parallel runner uses —
+// stateful planning, pure per-sample work, stateful merge (see parallel.go)
+// — so there is exactly one owner/park dispatch loop in the engine and the
+// sequential and parallel paths cannot drift apart.
 func (s *Session) Step() *Frame {
-	if s.Lane == LaneFixedPoint {
-		return s.stepFxp()
-	}
-	sf := s.Source.NextSubframe()
-	f := &Frame{
-		N:        s.n,
-		Subframe: sf,
-		Burst:    IsBurstSubframe(sf.Index),
-		Owner:    -1,
-		Start:    s.start,
-	}
-	s.n++
-	if len(s.Tags) > 0 {
-		f.Owner = 0
-		if s.Owner != nil {
-			f.Owner = s.Owner(f.N)
-		}
-	}
-	if s.Taps.Ambient != nil {
-		s.Taps.Ambient(f, sf.Samples)
-	}
-
-	// Tag bank: the scheduled owner modulates, parked tags echo weakly.
-	// Paths are assembled in a fixed order — direct first, then tags in
-	// index order — so the float summation order in the combine is stable.
-	var paths [][]complex128
-	if s.Direct != nil {
-		paths = append(paths, s.Direct.Apply(sf.Samples))
-	}
-	for i, t := range s.Tags {
-		var refl []complex128
-		switch {
-		case i == f.Owner:
-			if t.Feed != nil {
-				t.Feed(f.N, t.Mod)
-			}
-			if t.Jitter != nil && f.Burst {
-				t.Mod.SetTimingError(t.base() + t.Jitter.Next())
-			}
-			var recs []tag.SymbolRecord
-			refl, recs = t.Mod.ModulateSubframe(sf.Samples, sf.Index, f.Burst)
-			f.Records = recs
-		case t.Park:
-			refl = t.Mod.ParkedSubframe(sf.Samples)
-		default:
-			continue
-		}
-		if s.Taps.Reflected != nil {
-			s.Taps.Reflected(f, i, refl)
-		}
-		if t.Path != nil {
-			refl = t.Path.Apply(refl)
-		}
-		paths = append(paths, refl)
-	}
-
-	if s.Link != nil {
-		f.RX = s.Link.Receive(paths...)
-	} else {
-		f.RX = sf.Samples
-	}
-	if s.Tracker != nil {
-		f.RX, f.Reacquired = s.Tracker.Process(f.RX, f.Start)
-	}
-
-	advance := true
-	if s.Sink != nil {
-		advance = s.Sink.Consume(f)
-	}
-	if advance {
-		s.start += len(sf.Samples)
-	}
-	return f
-}
-
-// stepFxp is the fixed-point lane of Step. The stage order, the RNG draw
-// order and the Frame contract are identical to the float path; the
-// per-sample work runs on Q1.15 buffers. The ambient excitation is
-// quantized once per subframe at its natural block scale and shared
-// (read-only) by every tag; the carrier tracker, when present, is a float
-// stage — the received block is materialized for it and RXFxp is cleared,
-// since its output no longer corresponds to a Q1.15 block.
-func (s *Session) stepFxp() *Frame {
-	sf := s.Source.NextSubframe()
-	f := &Frame{
-		N:        s.n,
-		Subframe: sf,
-		Burst:    IsBurstSubframe(sf.Index),
-		Owner:    -1,
-		Start:    s.start,
-	}
-	s.n++
-	if len(s.Tags) > 0 {
-		f.Owner = 0
-		if s.Owner != nil {
-			f.Owner = s.Owner(f.N)
-		}
-	}
-	if s.Taps.Ambient != nil {
-		s.Taps.Ambient(f, sf.Samples)
-	}
-
-	amb := fxp.FromComplex(sf.Samples)
-	var paths []*fxp.Buf
-	if s.Direct != nil {
-		paths = append(paths, applyStageFxp(s.Direct, amb))
-	}
-	for i, t := range s.Tags {
-		var refl *fxp.Buf
-		switch {
-		case i == f.Owner:
-			if t.Feed != nil {
-				t.Feed(f.N, t.Mod)
-			}
-			if t.Jitter != nil && f.Burst {
-				t.Mod.SetTimingError(t.base() + t.Jitter.Next())
-			}
-			var recs []tag.SymbolRecord
-			refl, recs = t.Mod.ModulateSubframeFxp(amb, sf.Index, f.Burst)
-			f.Records = recs
-		case t.Park:
-			refl = t.Mod.ParkedSubframeFxp(amb)
-		default:
-			continue
-		}
-		if s.Taps.Reflected != nil {
-			s.Taps.Reflected(f, i, refl.ToComplex(nil))
-		}
-		if t.Path != nil {
-			refl = applyStageFxp(t.Path, refl)
-		}
-		paths = append(paths, refl)
-	}
-
-	if s.Link != nil {
-		f.RXFxp = s.Link.ReceiveFxp(paths...)
-		f.RX = f.RXFxp.ToComplex(nil)
-	} else {
-		f.RX = sf.Samples
-	}
-	if s.Tracker != nil {
-		f.RX, f.Reacquired = s.Tracker.Process(f.RX, f.Start)
-		f.RXFxp = nil
-	}
-
-	advance := true
-	if s.Sink != nil {
-		advance = s.Sink.Consume(f)
-	}
-	if advance {
-		s.start += len(sf.Samples)
-	}
-	return f
+	s.prepare()
+	j := s.planJob()
+	s.workJob(j, s.directPure, s.tagPure)
+	s.mergeJob(j, s.directRest, s.tagRest)
+	return j.f
 }
 
 // Run advances the chain n subframes.

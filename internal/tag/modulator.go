@@ -126,16 +126,27 @@ func (m *Modulator) QueuedBits() int { return len(m.pending) }
 // SentBits returns the total data bits modulated so far.
 func (m *Modulator) SentBits() int { return m.sent }
 
+// parkLossDB models the parked antenna's reduced radar cross-section
+// relative to the switching state.
+const parkLossDB = 10
+
+// ParkedGain returns the amplitude coefficient of the parked-switch echo:
+// ParkedSubframe multiplies the ambient waveform by exactly this value. A
+// fleet-scale scheduler sums these coefficients (times each tag's scalar
+// path gain) to advance thousands of parked tags in closed form instead of
+// per sample.
+func (m *Modulator) ParkedGain() float64 {
+	return math.Sqrt(dsp.FromDB(-m.cfg.ReflectionLossDB - parkLossDB))
+}
+
 // ParkedSubframe models a tag that is not scheduled in this TDMA slot: the
 // switch is parked (no square-wave toggling), so the reflection is a weak
 // static in-band echo — indistinguishable from environmental clutter and,
 // crucially, absent from the shifted backscatter band where another tag may
-// be transmitting. parkLossDB models the parked antenna's reduced radar
-// cross-section relative to the switching state.
+// be transmitting.
 func (m *Modulator) ParkedSubframe(ambient []complex128) []complex128 {
-	const parkLossDB = 10
 	out := make([]complex128, len(ambient))
-	amp := complex(math.Sqrt(dsp.FromDB(-m.cfg.ReflectionLossDB-parkLossDB)), 0)
+	amp := complex(m.ParkedGain(), 0)
 	for i, v := range ambient {
 		out[i] = v * amp
 	}

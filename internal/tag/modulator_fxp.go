@@ -92,6 +92,5 @@ func (m *Modulator) ModulateSubframeFxp(ambient *fxp.Buf, subframe int, startBur
 // without touching a sample: the result is a read-only scaled view of the
 // ambient block.
 func (m *Modulator) ParkedSubframeFxp(ambient *fxp.Buf) *fxp.Buf {
-	const parkLossDB = 10
-	return ambient.ScaledView(math.Sqrt(dsp.FromDB(-m.cfg.ReflectionLossDB - parkLossDB)))
+	return ambient.ScaledView(m.ParkedGain())
 }

@@ -70,6 +70,12 @@ func (v Venue) String() string {
 	return fmt.Sprintf("Venue(%d)", int(v))
 }
 
+// VenueActivity returns the venue's diurnal human-activity level (0..1) at
+// the given hour of day — the shape behind the WiFi occupancy curves of
+// Figures 17/22/27, and the demand profile the fleet engine uses for
+// tag-message arrivals (tags are read when people are around).
+func VenueActivity(v Venue, hour float64) float64 { return wifiActivity(v, hour) }
+
 // wifiActivity returns the venue's WiFi activity level (0..1) at the given
 // hour of day — the diurnal shape behind Figures 17/22/27.
 func wifiActivity(v Venue, hour float64) float64 {

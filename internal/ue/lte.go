@@ -10,6 +10,7 @@ package ue
 import (
 	"math"
 	"math/cmplx"
+	"sort"
 
 	"lscatter/internal/enodeb"
 	"lscatter/internal/ltephy"
@@ -63,17 +64,25 @@ func (rx *LTEReceiver) estimateChannel(g *ltephy.Grid, subframe int) ([][]comple
 		y := g.RE[rs.Symbol][rs.Subcarrier]
 		bySym[rs.Symbol] = append(bySym[rs.Symbol], pilotEst{k: rs.Subcarrier, h: y * cmplx.Conj(rs.Value)})
 	}
-	// Linear interpolation across subcarriers per CRS symbol.
+	// Linear interpolation across subcarriers per CRS symbol. The symbols
+	// are processed in index order: map iteration order would randomize
+	// both the float summation of the noise residual below and the
+	// nearest-CRS tie-break, breaking the simulator's determinism contract
+	// at marginal operating points.
 	hBy := map[int][]complex128{}
-	var crsSyms []int
-	for l, ps := range bySym {
+	crsSyms := make([]int, 0, len(bySym))
+	for l := range bySym {
+		crsSyms = append(crsSyms, l)
+	}
+	sort.Ints(crsSyms)
+	for _, l := range crsSyms {
+		ps := bySym[l]
 		sortPilots(ps)
 		row := make([]complex128, k)
 		for kk := 0; kk < k; kk++ {
 			row[kk] = interpPilot(ps, kk)
 		}
 		hBy[l] = row
-		crsSyms = append(crsSyms, l)
 	}
 	// Noise estimate from half-differences of adjacent pilots (the channel
 	// is smooth across one pilot spacing, so the difference is mostly noise;
@@ -81,7 +90,8 @@ func (rx *LTEReceiver) estimateChannel(g *ltephy.Grid, subframe int) ([][]comple
 	// variance noiseVar/2 per pilot pair).
 	var resid float64
 	var n int
-	for _, ps := range bySym {
+	for _, l := range crsSyms {
+		ps := bySym[l]
 		for i := 0; i+1 < len(ps); i++ {
 			d := (ps[i].h - ps[i+1].h) / 2
 			resid += real(d)*real(d) + imag(d)*imag(d)

@@ -2,16 +2,16 @@
 
 GO ?= go
 
-.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench bench-compare rtf rtf-check fleet-check figures examples examples-check served-check served-load cover clean
+.PHONY: all ci test race vet docs-check fuzz-smoke golden-update resilience bench bench-compare rtf rtf-check fleet-check dist-check figures examples examples-check served-check served-load cover clean
 
 all: vet test
 
 # The full gate a PR must pass: vet, the suite under the race detector, the
 # doc-comment check, the example-stdout goldens, the real-time-factor
-# regression gate, the fleet-engine scaling gate and both server smokes
+# regression gate, the fleet-engine scaling gate, both server smokes
 # (end-to-end crash/restart, then load with required coalesce + disk-hit
-# evidence). Run it before pushing.
-ci: vet race docs-check examples-check rtf-check fleet-check served-check served-load
+# evidence) and the distributed-execution smoke. Run it before pushing.
+ci: vet race docs-check examples-check rtf-check fleet-check served-check served-load dist-check
 
 test:
 	$(GO) test ./...
@@ -40,7 +40,7 @@ fuzz-smoke:
 	$(GO) test ./internal/dsp -run='^$$' -fuzz=FuzzCorrelatorEquivalence -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/fxp -run='^$$' -fuzz=FuzzFxpRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzSpecDecode -fuzztime=$(FUZZTIME)
-	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzArtifactDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/store -run='^$$' -fuzz=FuzzArtifactDecode -fuzztime=$(FUZZTIME)
 
 # Regenerate the golden conformance vectors (testdata/*.json) after an
 # intentional waveform or RNG change; review the diff like code.
@@ -87,6 +87,15 @@ rtf-check:
 fleet-check:
 	$(GO) test -race -count=1 ./internal/fleet ./internal/simlink
 	$(GO) run ./tools/fleetcheck
+
+# Distributed-execution smoke: two lscatter-worker shards over one shared
+# artifact directory; the sharded `-all` sweep must print byte-identical
+# output to the local sweep with every artifact computed exactly once across
+# the workers and zero restores on the cold store (see docs/DISTRIBUTED.md).
+dist-check:
+	$(GO) build -o bin/lscatter-bench ./cmd/lscatter-bench
+	$(GO) build -o bin/lscatter-worker ./cmd/lscatter-worker
+	$(GO) run ./tools/distcheck -bench bin/lscatter-bench -worker bin/lscatter-worker
 
 examples:
 	$(GO) run ./examples/quickstart

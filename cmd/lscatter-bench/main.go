@@ -6,6 +6,8 @@
 //	lscatter-bench -list
 //	lscatter-bench -id F23 [-seed 7]
 //	lscatter-bench -all [-parallel 8] [-metrics out.json]
+//	lscatter-bench -all -artifact-dir DIR [-resume]
+//	lscatter-bench -all -shard-workers http://127.0.0.1:9301,http://127.0.0.1:9302
 //	lscatter-bench -impair [-seed 7] [-metrics out.json]
 //	lscatter-bench -rtf [-rtf-subframes 2000] [-metrics out.json]
 //
@@ -14,6 +16,14 @@
 // artifact's seed derives from -seed and its ID, so any worker count prints
 // identical tables. -metrics writes a JSON report of per-artifact wall time,
 // allocations and waveform-cache hit rate; see docs/BENCHMARKS.md.
+//
+// -artifact-dir checkpoints every finished artifact into a durable
+// content-addressed store as the sweep runs; -resume additionally restores
+// already-checkpointed artifacts from it, so a sweep killed after K of N
+// artifacts recomputes exactly N−K on restart. -shard-workers fans the sweep
+// out to lscatter-worker HTTP processes instead of computing in-process.
+// Every executor prints byte-identical tables — the checkpoint/restore
+// summary goes to stderr. See docs/DISTRIBUTED.md.
 //
 // -rtf measures the real-time factor of the transport pipeline at 20 MHz on
 // one goroutine (fixed-point streamer headline plus both full-Session lanes)
@@ -42,21 +52,23 @@ import (
 	"strings"
 	"time"
 
+	"lscatter/internal/exec"
 	"lscatter/internal/experiments"
 	"lscatter/internal/fleet"
+	"lscatter/internal/store"
 )
 
-// writeMetrics serializes the run report to path.
+// writeMetrics serializes the run report to path, atomically — a crash
+// mid-write leaves either the previous complete report or the new one.
 func writeMetrics(path string, rep *experiments.Report) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := rep.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return rep.WriteFile(path)
+}
+
+// usageError prints a flag-validation failure plus usage and exits 2.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lscatter-bench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func main() {
@@ -67,6 +79,10 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		parallel = flag.Int("parallel", 1, "worker count for -all (0 = NumCPU, 1 = sequential)")
 		metrics  = flag.String("metrics", "", "write a JSON metrics report to this file")
+
+		artifactDir  = flag.String("artifact-dir", "", "checkpoint -all artifacts into this durable store")
+		resume       = flag.Bool("resume", false, "restore already-checkpointed artifacts from -artifact-dir")
+		shardWorkers = flag.String("shard-workers", "", "comma-separated lscatter-worker base URLs for -all")
 		impaired = flag.Bool("impair", false, "run the link-resilience sweep (shorthand for -id R1)")
 		rtf      = flag.Bool("rtf", false, "measure the transport real-time factor at 20 MHz")
 		rtfSF    = flag.Int("rtf-subframes", 0, "timed subframes for -rtf (0 = default 2000)")
@@ -78,6 +94,18 @@ func main() {
 		fleetLoad    = flag.Float64("fleet-load", 0.2, "offered load for -fleet, messages per tag per hour")
 	)
 	flag.Parse()
+
+	// Flag combinations are validated up front, so a misconfigured sweep
+	// fails with a usage error before any artifact computes.
+	if *parallel < 0 {
+		usageError("-parallel must be >= 0 (0 = NumCPU), got %d", *parallel)
+	}
+	if *resume && *artifactDir == "" {
+		usageError("-resume requires -artifact-dir: there is no store to restore from")
+	}
+	if (*artifactDir != "" || *resume || *shardWorkers != "") && !*all {
+		usageError("-artifact-dir, -resume and -shard-workers apply only to -all")
+	}
 
 	// runRTF performs the real-time-factor measurement (after any artifact
 	// regeneration, so the timed loop runs on a quiet process).
@@ -129,13 +157,45 @@ func main() {
 	case *list:
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 	case *all:
+		// The executor stack, innermost out: the local registry pool, or
+		// HTTP shards when -shard-workers is set, wrapped in a checkpointing
+		// layer when -artifact-dir is set. Output is byte-identical through
+		// any stack — the determinism contract RunAllOn documents.
+		var ex exec.Executor = &exec.Local{Run: experiments.ExecRunner()}
+		if *shardWorkers != "" {
+			ex = exec.NewSharded(strings.Split(*shardWorkers, ","), nil)
+		}
+		var ckpt *exec.Checkpointed
+		if *artifactDir != "" {
+			logf := func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+			st, err := store.Open(*artifactDir, 0, logf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			ckpt = &exec.Checkpointed{
+				Inner:  ex,
+				Store:  st,
+				Resume: *resume,
+				Key:    experiments.ArtifactKey,
+			}
+			ex = ckpt
+		}
 		start := time.Now()
-		results, err := experiments.RunAll(context.Background(), *seed, *parallel)
+		results, err := experiments.RunAllOn(context.Background(), ex, *seed, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		wall := time.Since(start)
+		if ckpt != nil {
+			// Stderr, so stdout stays byte-identical across executors.
+			computed, restored := ckpt.Stats()
+			fmt.Fprintf(os.Stderr, "checkpoint: computed %d, restored %d (store %s)\n",
+				computed, restored, *artifactDir)
+		}
 		for _, res := range results {
 			fmt.Println(res.Render())
 		}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"runtime"
 	"time"
 
 	"lscatter/internal/ltephy"
+	"lscatter/internal/store"
 )
 
 // RunMetrics records what one artifact regeneration cost the harness. All
@@ -142,4 +144,16 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// WriteFile atomically serializes the report to path (temp file, fsync,
+// rename — the same helper the artifact store uses), so a crash mid-write
+// can never leave a torn `-metrics` report: the file is either the previous
+// complete report or the new one.
+func (r *Report) WriteFile(path string) error {
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		return err
+	}
+	return store.WriteAtomic(path, buf.Bytes())
 }

@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"context"
-	"runtime"
-	"sync"
+
+	"lscatter/internal/exec"
 )
 
 // DeriveSeed maps the harness master seed to the per-artifact seed used by
@@ -11,7 +11,8 @@ import (
 // ID. Every artifact therefore draws from a decorrelated random stream that
 // depends only on (master seed, ID) — never on which worker ran it, in what
 // order, or alongside what else — which is what makes RunAll's output
-// bit-identical to the sequential path at any worker count.
+// bit-identical to the sequential path at any worker count, and artifact
+// bytes safe to checkpoint and shard across processes.
 func DeriveSeed(seed uint64, id string) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -26,48 +27,19 @@ func DeriveSeed(seed uint64, id string) uint64 {
 }
 
 // RunAll regenerates every registered artifact using a pool of workers and
-// returns the results in ID order, each with RunMetrics attached.
+// returns the results in ID order, each with RunMetrics attached. It is the
+// thin adapter over the shared execution layer: a Local executor running
+// ExecRunner through RunAllOn — the same stack `lscatter-bench` extends
+// with checkpointing (-artifact-dir/-resume) and sharding (-shard-workers).
 //
 // workers <= 0 selects runtime.NumCPU(); the pool is never larger than the
-// registry. Determinism is unconditional: for any worker count, artifact id
-// runs with DeriveSeed(seed, id) and runners share no mutable state, so
-// Result.Rows are byte-identical to All(seed). If ctx is cancelled, RunAll
-// stops dispatching, waits for in-flight runners, and returns the partial
-// results (unrun artifacts are nil) alongside ctx.Err().
+// registry. Determinism is unconditional: for any worker count and any
+// executor, artifact id runs with DeriveSeed(seed, id) and runners share no
+// mutable state, so Result.Rows are byte-identical to All(seed). If ctx is
+// cancelled, RunAll stops dispatching, waits for in-flight runners, and
+// returns the partial results (unrun artifacts are nil) alongside ctx.Err().
 func RunAll(ctx context.Context, seed uint64, workers int) ([]*Result, error) {
-	ids := IDs()
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(ids) {
-		workers = len(ids)
-	}
-
-	results := make([]*Result, len(ids))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for idx := range jobs {
-				id := ids[idx]
-				results[idx] = runInstrumented(id, registry[id], DeriveSeed(seed, id), worker)
-			}
-		}(w)
-	}
-
-feed:
-	for idx := range ids {
-		select {
-		case jobs <- idx:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	return results, ctx.Err()
+	return RunAllOn(ctx, &exec.Local{Run: ExecRunner()}, seed, workers)
 }
 
 // RunOne regenerates a single artifact with the seed taken verbatim (no

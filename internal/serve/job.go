@@ -8,7 +8,9 @@ import (
 	"log"
 	"sync"
 
+	"lscatter/internal/exec"
 	"lscatter/internal/experiments"
+	"lscatter/internal/store"
 )
 
 // State is a job's lifecycle position.
@@ -243,6 +245,12 @@ type Manager struct {
 	opts  Options
 	store *Store
 	disk  *DiskStore // nil when no ArtifactDir is configured
+	// executor is the shared compute-and-persist stack (internal/exec): a
+	// Local executor bottoming out in RunDeployment, wrapped — when a
+	// durable store is configured — in a Checkpointed executor that records
+	// finished bodies and restores artifacts a sibling process sharing the
+	// directory computed first.
+	executor exec.Executor
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -284,6 +292,22 @@ func NewManager(opts Options) (*Manager, error) {
 			return nil, err
 		}
 		m.disk = disk
+	}
+	local := &exec.Local{Run: m.runJob}
+	if m.disk != nil {
+		// The job ID is the spec hash, so the checkpoint key reproduces the
+		// exact artifact file names the serve layer has always written —
+		// directories persisted by earlier versions resume seamlessly.
+		m.executor = &exec.Checkpointed{
+			Inner:  local,
+			Store:  m.disk,
+			Resume: true,
+			Key: func(j exec.Job) store.Key {
+				return store.Key{SpecHash: j.ID, Seed: j.Seed}
+			},
+		}
+	} else {
+		m.executor = local
 	}
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
@@ -547,32 +571,23 @@ func (m *Manager) runFlight(fl *flight) {
 	fl.running = true
 	m.counters.Started++
 	jobs := append([]*Job(nil), fl.jobs...)
-	spec := fl.spec
 	ctx := fl.ctx
 	m.mu.Unlock()
 	for _, j := range jobs {
 		j.setRunning()
 	}
 
-	progress := func(done, total int, tag experiments.TagReport) {
-		m.mu.Lock()
-		attached := append([]*Job(nil), fl.jobs...)
-		m.mu.Unlock()
-		for _, j := range attached {
-			j.setProgress(done, total, &tag)
-		}
-	}
-
-	res, err := experiments.RunDeployment(ctx, spec.Deployment(), m.opts.JobWorkers, progress)
+	// The compute-and-persist step is the shared executor stack: exec.Local
+	// bottoms out in runJob below, and when a durable store is configured
+	// exec.Checkpointed records the body (and restores one a sibling process
+	// sharing the directory finished first). The flight rides the context so
+	// the generic Job — an (ID, Seed) pair — stays serializable.
+	body, err := m.executor.Submit(context.WithValue(ctx, flightCtxKey{}, fl), exec.Job{ID: fl.key.SpecHash, Seed: fl.key.Seed})
 	switch {
 	case err == nil:
-		body := buildResultBody(fl.key, spec, res)
 		// Store before retiring the flight: a Submit that misses the
 		// in-flight table afterwards must hit the store.
 		m.store.Put(fl.key, body)
-		if m.disk != nil {
-			m.disk.Put(fl.key, body)
-		}
 		for _, j := range m.finishFlight(fl) {
 			j.finish(Done, body, "")
 		}
@@ -593,6 +608,33 @@ func (m *Manager) runFlight(fl *flight) {
 		m.counters.Failed++
 		m.mu.Unlock()
 	}
+}
+
+// flightCtxKey carries the flight through the executor stack into runJob.
+type flightCtxKey struct{}
+
+// runJob is the exec.RunFunc the manager's Local executor bottoms out in: it
+// recovers the flight from the context, runs the deployment with progress
+// fanned out to every attached job, and returns the canonical result body —
+// the bytes the stores persist and every coalesced client receives.
+func (m *Manager) runJob(ctx context.Context, job exec.Job) ([]byte, error) {
+	fl, ok := ctx.Value(flightCtxKey{}).(*flight)
+	if !ok {
+		return nil, errors.New("serve: job submitted without a flight")
+	}
+	progress := func(done, total int, tag experiments.TagReport) {
+		m.mu.Lock()
+		attached := append([]*Job(nil), fl.jobs...)
+		m.mu.Unlock()
+		for _, j := range attached {
+			j.setProgress(done, total, &tag)
+		}
+	}
+	res, err := experiments.RunDeployment(ctx, fl.spec.Deployment(), m.opts.JobWorkers, progress)
+	if err != nil {
+		return nil, err
+	}
+	return buildResultBody(fl.key, fl.spec, res), nil
 }
 
 func (m *Manager) countCancel() {

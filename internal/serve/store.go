@@ -1,107 +1,40 @@
 package serve
 
-import (
-	"container/list"
-	"sync"
-)
+import "lscatter/internal/store"
 
-// Key addresses one artifact in the Store: the content hash of the
-// normalized spec plus the seed. Identical keys denote identical
-// computations — the deployment runner is deterministic in (spec, seed) — so
-// a stored body can be served for any later request with the same key
-// without recompute, byte for byte.
-type Key struct {
-	SpecHash string `json:"spec_hash"`
-	Seed     uint64 `json:"seed"`
-}
+// The artifact stores are the shared internal/store layer — the same
+// content-addressed store the checkpointed lscatter-bench sweeps and the
+// lscatter-worker shards persist into. serve used to carry a private
+// duplicate (an in-memory LRU plus a diskstore); these aliases are what
+// remains of it: the wire formats (Key JSON, LSCATART files, /metricsz
+// stats) are unchanged, and an artifact directory written by a PR-8 server
+// is readable as-is. The durable layer's advisory file lock is what makes
+// -artifact-dir safe to share between a server and sibling processes.
 
-// Store is the bounded in-memory content-addressed artifact store. Values
-// are the finished result bodies (JSON documents) exactly as they are served
-// to clients. Eviction is LRU by access so a hot spec survives a sweep of
-// one-off requests.
-type Store struct {
-	mu      sync.Mutex
-	max     int
-	entries map[Key]*list.Element
-	order   *list.List // front = most recently used
+// Key addresses one artifact: the content hash of the normalized spec plus
+// the seed. Identical keys denote identical computations — the deployment
+// runner is deterministic in (spec, seed) — so a stored body can be served
+// for any later request with the same key without recompute, byte for byte.
+type Key = store.Key
 
-	hits, misses, evictions uint64
-	bytes                   int64
-}
+// Store is the bounded in-memory artifact LRU over finished result bodies.
+type Store = store.Memory
 
-type storeEntry struct {
-	key  Key
-	body []byte
-}
+// StoreStats is the memory store's /metricsz snapshot.
+type StoreStats = store.MemoryStats
 
-// NewStore builds a store bounded to max entries; max <= 0 selects a
-// default of 256.
-func NewStore(max int) *Store {
-	if max <= 0 {
-		max = 256
-	}
-	return &Store{
-		max:     max,
-		entries: make(map[Key]*list.Element),
-		order:   list.New(),
-	}
-}
+// DiskStore is the durable artifact store under the memory LRU.
+type DiskStore = store.DiskStore
 
-// Get returns the stored body for the key, or (nil, false). The returned
-// slice is shared — callers must not mutate it.
-func (s *Store) Get(k Key) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.entries[k]
-	if !ok {
-		s.misses++
-		return nil, false
-	}
-	s.hits++
-	s.order.MoveToFront(el)
-	return el.Value.(*storeEntry).body, true
-}
+// DiskStats is the disk store's /metricsz snapshot.
+type DiskStats = store.DiskStats
 
-// Put stores a body under the key. A concurrent duplicate computation may
-// Put the same key twice; the bodies are identical by the determinism
-// contract, so the second write just refreshes recency.
-func (s *Store) Put(k Key, body []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.entries[k]; ok {
-		s.order.MoveToFront(el)
-		return
-	}
-	s.entries[k] = s.order.PushFront(&storeEntry{key: k, body: body})
-	s.bytes += int64(len(body))
-	for len(s.entries) > s.max {
-		el := s.order.Back()
-		e := el.Value.(*storeEntry)
-		s.order.Remove(el)
-		delete(s.entries, e.key)
-		s.bytes -= int64(len(e.body))
-		s.evictions++
-	}
-}
+// NewStore builds the in-memory store; max <= 0 selects a default of 256.
+func NewStore(max int) *Store { return store.NewMemory(max) }
 
-// StoreStats is the store's observability snapshot, served at /metricsz.
-type StoreStats struct {
-	Entries   int    `json:"entries"`
-	Bytes     int64  `json:"bytes"`
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-}
-
-// Stats returns a consistent snapshot of the store counters.
-func (s *Store) Stats() StoreStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return StoreStats{
-		Entries:   len(s.entries),
-		Bytes:     s.bytes,
-		Hits:      s.hits,
-		Misses:    s.misses,
-		Evictions: s.evictions,
-	}
+// OpenDiskStore opens (creating if needed) the durable artifact store
+// rooted at dir; see store.Open for the scan, quarantine and locking
+// semantics.
+func OpenDiskStore(dir string, maxBytes int64, logf func(string, ...any)) (*DiskStore, error) {
+	return store.Open(dir, maxBytes, logf)
 }

@@ -1,4 +1,4 @@
-package serve
+package store
 
 import (
 	"bytes"
@@ -14,11 +14,11 @@ import (
 	"sync"
 )
 
-// The on-disk artifact format: one file per (spec-hash, seed) key, a fixed
-// binary header followed by the stored body. The header carries the key, the
-// body length and a SHA-256 of the body, so a truncated, bit-flipped or
-// zero-length file is detected on read instead of being served. The layout
-// (all integers little-endian):
+// The on-disk artifact format: one file per key, a fixed binary header
+// followed by the stored body. The header carries the key, the body length
+// and a SHA-256 of the body, so a truncated, bit-flipped or zero-length file
+// is detected on read instead of being served. The layout (all integers
+// little-endian):
 //
 //	magic    [8]byte  "LSCATART"
 //	version  uint32   1
@@ -112,8 +112,8 @@ func decodeArtifact(data []byte) (Key, []byte, error) {
 
 // indexDoc is the persisted store index: the keys on disk in LRU order (most
 // recently used first). It is an accelerator and an audit trail, not the
-// source of truth — OpenDiskStore rebuilds it from a directory scan, using
-// the persisted order only to keep eviction recency warm across restarts. A
+// source of truth — Open rebuilds it from a directory scan, using the
+// persisted order only to keep eviction recency warm across restarts. A
 // stale entry (file gone or resized) is dropped with one log line.
 type indexDoc struct {
 	Version int          `json:"version"`
@@ -151,11 +151,20 @@ func decodeIndex(data []byte) (*indexDoc, error) {
 	return &doc, nil
 }
 
-// DiskStore is the durable layer under the in-memory artifact LRU: artifacts
-// are written through on Put and promoted lazily on Get, so a server restart
-// pointed at the same directory keeps the cache warm. Total size is bounded
-// by maxBytes with LRU eviction. Corrupt files are quarantined (moved into
-// quarantine/), never served.
+// DiskStore is the durable content-addressed artifact store: artifacts are
+// written through on Put and verified against their checksums on Get, so a
+// process restart pointed at the same directory keeps the cache warm. Total
+// size is bounded by maxBytes with LRU eviction. Corrupt files are
+// quarantined (moved into quarantine/), never served.
+//
+// The store is multi-process safe: mutations hold an advisory exclusive lock
+// on dir/.lock for their duration (never at rest, so several open stores —
+// including several in one process — interleave freely), every write is an
+// atomic temp+fsync+rename, and a Get that misses the in-memory index probes
+// the canonical file name so artifacts Put by a sibling process are adopted
+// instead of recomputed. The index file is advisory recency; concurrent
+// writers may overwrite each other's index, and the startup scan rebuilds it
+// from the artifact files either way.
 type DiskStore struct {
 	mu       sync.Mutex
 	dir      string
@@ -164,9 +173,11 @@ type DiskStore struct {
 	order    *list.List // front = most recently used
 	bytes    int64
 	logf     func(format string, args ...any)
+	flock    *fileLock
 
 	hits, misses, puts, evictions uint64
 	quarantined, staleDropped     uint64
+	adopted                       uint64
 }
 
 type diskEntry struct {
@@ -175,7 +186,7 @@ type diskEntry struct {
 	size int64
 }
 
-// DiskStats is the disk store's observability snapshot, served at /metricsz.
+// DiskStats is the disk store's observability snapshot.
 type DiskStats struct {
 	Entries     int    `json:"entries"`
 	Bytes       int64  `json:"bytes"`
@@ -185,23 +196,27 @@ type DiskStats struct {
 	Evictions   uint64 `json:"evictions"`
 	Quarantined uint64 `json:"quarantined"`
 	StaleIndex  uint64 `json:"stale_index_dropped"`
+	// Adopted counts artifacts discovered on disk after open — written there
+	// by a sibling process sharing the directory — and served as hits.
+	Adopted uint64 `json:"adopted"`
 }
 
-// artifactFileName is the canonical file name for a key. The spec hash is
-// validated hex and the seed is fixed-width, so names are filesystem-safe
-// and unique per key.
-func artifactFileName(k Key) string {
+// FileName is the canonical file name for a key. The spec hash is validated
+// hex and the seed is fixed-width, so names are filesystem-safe and unique
+// per key — which is also what lets sibling processes find each other's
+// artifacts without coordination.
+func FileName(k Key) string {
 	return fmt.Sprintf("%s-%016x%s", k.SpecHash, k.Seed, artifactExt)
 }
 
-// OpenDiskStore opens (creating if needed) a durable artifact store rooted
-// at dir. maxBytes <= 0 selects a 256 MiB default. Startup rebuilds the
-// in-memory index by scanning the directory: every *.art file's header is
-// verified (magic, version, key-matches-name, length claim vs file size) and
-// failures are quarantined; the persisted index.json only contributes the
-// LRU recency order. logf receives one line per quarantined file or dropped
-// stale index entry (nil = drop logs).
-func OpenDiskStore(dir string, maxBytes int64, logf func(string, ...any)) (*DiskStore, error) {
+// Open opens (creating if needed) a durable artifact store rooted at dir.
+// maxBytes <= 0 selects a 256 MiB default. Startup rebuilds the in-memory
+// index by scanning the directory: every *.art file's header is verified
+// (magic, version, key-matches-name, length claim vs file size) and failures
+// are quarantined; the persisted index.json only contributes the LRU recency
+// order. logf receives one line per quarantined file or dropped stale index
+// entry (nil = drop logs).
+func Open(dir string, maxBytes int64, logf func(string, ...any)) (*DiskStore, error) {
 	if maxBytes <= 0 {
 		maxBytes = 256 << 20
 	}
@@ -209,7 +224,7 @@ func OpenDiskStore(dir string, maxBytes int64, logf func(string, ...any)) (*Disk
 		logf = func(string, ...any) {}
 	}
 	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
-		return nil, fmt.Errorf("diskstore: %w", err)
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	d := &DiskStore{
 		dir:      dir,
@@ -218,18 +233,34 @@ func OpenDiskStore(dir string, maxBytes int64, logf func(string, ...any)) (*Disk
 		order:    list.New(),
 		logf:     logf,
 	}
-	if err := d.load(); err != nil {
+	fl, err := openFileLock(filepath.Join(dir, ".lock"))
+	if err != nil {
+		// The lock is an accelerator for multi-process sharing; a filesystem
+		// that cannot host it degrades to single-process semantics.
+		d.logf("store: advisory lock unavailable: %v", err)
+	}
+	d.flock = fl
+	d.lock()
+	err = d.load()
+	d.unlock()
+	if err != nil {
 		return nil, err
 	}
 	return d, nil
 }
+
+// lock/unlock bracket a mutation with the cross-process advisory lock. They
+// are no-ops when the lock file could not be opened. The in-process mutex is
+// always held first, so lock ordering is consistent.
+func (d *DiskStore) lock()   { d.flock.Lock() }
+func (d *DiskStore) unlock() { d.flock.Unlock() }
 
 // load scans dir, validates headers, applies the persisted recency order and
 // rewrites the index.
 func (d *DiskStore) load() error {
 	dirents, err := os.ReadDir(d.dir)
 	if err != nil {
-		return fmt.Errorf("diskstore: %w", err)
+		return fmt.Errorf("store: %w", err)
 	}
 	// Scan: every *.art file with a valid header is a candidate entry.
 	scanned := map[string]diskEntry{}
@@ -259,7 +290,7 @@ func (d *DiskStore) load() error {
 	var recency []string
 	if raw, err := os.ReadFile(filepath.Join(d.dir, indexFileName)); err == nil {
 		if idx, err := decodeIndex(raw); err != nil {
-			d.logf("serve: diskstore: ignoring unreadable index: %v", err)
+			d.logf("store: ignoring unreadable index: %v", err)
 		} else {
 			for _, e := range idx.Entries {
 				se, ok := scanned[e.File]
@@ -268,7 +299,7 @@ func (d *DiskStore) load() error {
 					// line; its index entry is a casualty, not separate news.
 					if !quarantinedNow[e.File] {
 						d.staleDropped++
-						d.logf("serve: diskstore: dropping stale index entry %s (file missing or changed)", e.File)
+						d.logf("store: dropping stale index entry %s (file missing or changed)", e.File)
 					}
 					continue
 				}
@@ -335,7 +366,7 @@ func (d *DiskStore) verifyHeader(name string, size int64) (Key, error) {
 	if size != wantSize {
 		return Key{}, fmt.Errorf("%w: file size %d does not match header claim %d", errCorruptArtifact, size, wantSize)
 	}
-	if artifactFileName(key) != name {
+	if FileName(key) != name {
 		return Key{}, fmt.Errorf("%w: header key %v does not match file name", errCorruptArtifact, key)
 	}
 	return key, nil
@@ -350,19 +381,20 @@ func (d *DiskStore) quarantine(name string, reason error) {
 		// removal so the bad body can never be served.
 		_ = os.Remove(filepath.Join(d.dir, name))
 	}
-	d.logf("serve: diskstore: quarantined %s: %v", name, reason)
+	d.logf("store: quarantined %s: %v", name, reason)
 }
 
 // Get returns the stored body for the key, fully verified against its
 // checksum. A file that fails verification is quarantined and reported as a
-// miss, so a corrupt body is never served.
+// miss, so a corrupt body is never served. A key absent from the in-memory
+// index is probed once on disk under its canonical name, adopting artifacts
+// a sibling process stored since this store opened.
 func (d *DiskStore) Get(k Key) ([]byte, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	el, ok := d.entries[k]
 	if !ok {
-		d.misses++
-		return nil, false
+		return d.adoptLocked(k)
 	}
 	e := el.Value.(*diskEntry)
 	data, err := os.ReadFile(filepath.Join(d.dir, e.file))
@@ -383,18 +415,54 @@ func (d *DiskStore) Get(k Key) ([]byte, bool) {
 	d.order.Remove(el)
 	delete(d.entries, k)
 	d.bytes -= e.size
+	d.lock()
 	d.quarantine(e.file, err)
 	d.writeIndexLocked()
+	d.unlock()
 	d.misses++
 	return nil, false
 }
 
-// Put durably stores a body under the key (write-through from the memory
-// LRU). The write is atomic — temp file, sync, rename — so a crash mid-write
-// leaves either the old state or the new file, never a half-written
-// artifact under the canonical name. Errors are logged, not returned: the
-// disk layer is an accelerator, and the in-memory store still holds the
-// body.
+// adoptLocked probes the canonical file for a key the in-memory index does
+// not know — the cross-process read path. A valid artifact is adopted into
+// the index and served; a corrupt one is quarantined; an absent one is a
+// plain miss.
+func (d *DiskStore) adoptLocked(k Key) ([]byte, bool) {
+	name := FileName(k)
+	data, err := os.ReadFile(filepath.Join(d.dir, name))
+	if err != nil {
+		d.misses++
+		return nil, false
+	}
+	key, body, err := decodeArtifact(data)
+	if err == nil && key != k {
+		err = fmt.Errorf("%w: header key %v does not match %v", errCorruptArtifact, key, k)
+	}
+	if err != nil {
+		d.lock()
+		d.quarantine(name, err)
+		d.writeIndexLocked()
+		d.unlock()
+		d.misses++
+		return nil, false
+	}
+	e := &diskEntry{key: k, file: name, size: int64(len(data))}
+	d.entries[k] = d.order.PushFront(e)
+	d.bytes += e.size
+	d.hits++
+	d.adopted++
+	d.lock()
+	d.evictOverLocked()
+	d.writeIndexLocked()
+	d.unlock()
+	return body, true
+}
+
+// Put durably stores a body under the key. The write is atomic — temp file,
+// sync, rename — so a crash mid-write leaves either the old state or the new
+// file, never a half-written artifact under the canonical name. Errors are
+// logged, not returned: the disk layer is an accelerator, and the caller
+// still holds the body.
 func (d *DiskStore) Put(k Key, body []byte) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -404,9 +472,11 @@ func (d *DiskStore) Put(k Key, body []byte) {
 		return
 	}
 	data := encodeArtifact(k, body)
-	name := artifactFileName(k)
-	if err := d.writeAtomic(name, data); err != nil {
-		d.logf("serve: diskstore: write %s: %v", name, err)
+	name := FileName(k)
+	d.lock()
+	defer d.unlock()
+	if err := WriteAtomic(filepath.Join(d.dir, name), data); err != nil {
+		d.logf("store: write %s: %v", name, err)
 		return
 	}
 	e := &diskEntry{key: k, file: name, size: int64(len(data))}
@@ -415,26 +485,6 @@ func (d *DiskStore) Put(k Key, body []byte) {
 	d.puts++
 	d.evictOverLocked()
 	d.writeIndexLocked()
-}
-
-func (d *DiskStore) writeAtomic(name string, data []byte) error {
-	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), filepath.Join(d.dir, name))
 }
 
 // evictOverLocked removes least-recently-used artifacts until the byte
@@ -468,8 +518,8 @@ func (d *DiskStore) writeIndexLocked() {
 	if err != nil {
 		return
 	}
-	if err := d.writeAtomic(indexFileName, append(data, '\n')); err != nil {
-		d.logf("serve: diskstore: write index: %v", err)
+	if err := WriteAtomic(filepath.Join(d.dir, indexFileName), append(data, '\n')); err != nil {
+		d.logf("store: write index: %v", err)
 	}
 }
 
@@ -486,5 +536,6 @@ func (d *DiskStore) Stats() DiskStats {
 		Evictions:   d.evictions,
 		Quarantined: d.quarantined,
 		StaleIndex:  d.staleDropped,
+		Adopted:     d.adopted,
 	}
 }

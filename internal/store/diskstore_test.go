@@ -1,20 +1,21 @@
-package serve
+package store
 
 import (
 	"bytes"
-	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
-	"time"
 )
 
 // The tests in this file pin the durable artifact store's crash/corruption
 // story: artifacts survive process boundaries byte-identically, and
 // truncated, bit-flipped, zero-length or stale-indexed files are quarantined
-// and recomputed — never served.
+// and recomputed — never served. The multi-store tests pin the sharing
+// story: a store adopts artifacts a sibling wrote into the same directory.
 
 func testKey(seed uint64) Key {
 	return Key{SpecHash: "0123456789abcdef", Seed: seed}
@@ -22,7 +23,7 @@ func testKey(seed uint64) Key {
 
 func openDisk(t *testing.T, dir string) *DiskStore {
 	t.Helper()
-	d, err := OpenDiskStore(dir, 0, t.Logf)
+	d, err := Open(dir, 0, t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,6 +63,72 @@ func TestDiskStoreMissIsAMiss(t *testing.T) {
 	}
 	if st := d.Stats(); st.Misses != 1 {
 		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestDiskStoreAdoptsSiblingWrites is the multi-process sharing contract:
+// an artifact Put through one open store is visible to another store already
+// open over the same directory, without a reopen, and counts as an adopted
+// hit.
+func TestDiskStoreAdoptsSiblingWrites(t *testing.T) {
+	dir := t.TempDir()
+	a := openDisk(t, dir)
+	b := openDisk(t, dir)
+
+	body := []byte("written by sibling a\n")
+	k := testKey(42)
+	a.Put(k, body)
+
+	got, ok := b.Get(k)
+	if !ok {
+		t.Fatal("sibling store did not adopt the artifact")
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("adopted different bytes: %q vs %q", got, body)
+	}
+	st := b.Stats()
+	if st.Adopted != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("adoption stats: %+v", st)
+	}
+	// A second Get serves from the adopted index entry, not another probe.
+	if _, ok := b.Get(k); !ok {
+		t.Fatal("adopted entry lost")
+	}
+	if st := b.Stats(); st.Adopted != 1 || st.Hits != 2 {
+		t.Fatalf("post-adoption stats: %+v", st)
+	}
+}
+
+// TestDiskStoreConcurrentSiblings drives several stores over one directory
+// from concurrent goroutines — the in-process proxy for the multi-process
+// deployment — and requires every body read back intact. Run under -race by
+// `make race`.
+func TestDiskStoreConcurrentSiblings(t *testing.T) {
+	dir := t.TempDir()
+	const stores, keys = 3, 16
+	var wg sync.WaitGroup
+	for s := 0; s < stores; s++ {
+		d := openDisk(t, dir)
+		wg.Add(1)
+		go func(s int, d *DiskStore) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := Key{SpecHash: "abcdef0123456789", Seed: uint64(i)}
+				body := []byte(fmt.Sprintf("body-%d\n", i))
+				d.Put(k, body)
+				got, ok := d.Get(k)
+				if !ok || !bytes.Equal(got, body) {
+					t.Errorf("store %d key %d: got %q, %v", s, i, got, ok)
+					return
+				}
+			}
+		}(s, d)
+	}
+	wg.Wait()
+	// A fresh open sees every key exactly once, uncorrupted.
+	d := openDisk(t, dir)
+	if st := d.Stats(); st.Entries != keys || st.Quarantined != 0 {
+		t.Fatalf("final scan: %+v", st)
 	}
 }
 
@@ -121,11 +188,11 @@ func TestDiskStoreCorruptionRecovery(t *testing.T) {
 
 			d1 := openDisk(t, dir)
 			d1.Put(k, body)
-			path := filepath.Join(dir, artifactFileName(k))
+			path := filepath.Join(dir, FileName(k))
 			tc.mutate(t, path)
 
 			var logged []string
-			d2, err := OpenDiskStore(dir, 0, func(format string, args ...any) {
+			d2, err := Open(dir, 0, func(format string, args ...any) {
 				logged = append(logged, format)
 			})
 			if err != nil {
@@ -190,7 +257,7 @@ func TestDiskStoreStaleIndexEntry(t *testing.T) {
 	}
 
 	var logged []string
-	d2, err := OpenDiskStore(dir, 0, func(format string, args ...any) {
+	d2, err := Open(dir, 0, func(format string, args ...any) {
 		logged = append(logged, format)
 	})
 	if err != nil {
@@ -230,7 +297,7 @@ func TestDiskStoreByteBoundEviction(t *testing.T) {
 	dir := t.TempDir()
 	body := bytes.Repeat([]byte("a"), 1024)
 	// Budget for roughly three artifacts (header ≈ 80 bytes each).
-	d, err := OpenDiskStore(dir, 3*1200, t.Logf)
+	d, err := Open(dir, 3*1200, t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,132 +331,25 @@ func TestDiskStoreByteBoundEviction(t *testing.T) {
 	}
 }
 
-// TestManagerRestartWarmCache is the in-process crash/restart e2e at the
-// manager level: run a spec, shut down, build a fresh manager over the same
-// artifact dir, and require the re-fetched body byte-identical with zero
-// recompute and an observable disk hit.
-func TestManagerRestartWarmCache(t *testing.T) {
+// TestWriteAtomicReplaces pins the helper the metrics reports and the
+// artifact files share: the destination is either absent, the old content,
+// or the complete new content — and a successful call leaves no temp files.
+func TestWriteAtomicReplaces(t *testing.T) {
 	dir := t.TempDir()
-	spec := normalized(t, 6, 12345)
-
-	m1 := newManager(t, Options{Workers: 2, ArtifactDir: dir})
-	j1, err := m1.Submit(spec)
-	if err != nil {
+	path := filepath.Join(dir, "report.json")
+	if err := WriteAtomic(path, []byte("old\n")); err != nil {
 		t.Fatal(err)
 	}
-	<-j1.Finished()
-	body1, ok := j1.Results()
-	if !ok {
-		t.Fatalf("first run did not finish done: %+v", j1.Status())
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	if err := m1.Shutdown(ctx); err != nil {
+	if err := WriteAtomic(path, []byte("new and longer\n")); err != nil {
 		t.Fatal(err)
 	}
-
-	// The restart: a brand-new manager, cold memory, warm disk.
-	m2 := newManager(t, Options{Workers: 2, ArtifactDir: dir})
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := m2.Shutdown(ctx); err != nil {
-			t.Fatal(err)
-		}
-	}()
-	j2, err := m2.Submit(spec)
-	if err != nil {
-		t.Fatal(err)
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "new and longer\n" {
+		t.Fatalf("read back %q, %v", got, err)
 	}
-	<-j2.Finished()
-	st := j2.Status()
-	if st.State != Done || !st.CacheHit {
-		t.Fatalf("restarted submission not served from disk: %+v", st)
-	}
-	body2, _ := j2.Results()
-	if !bytes.Equal(body1, body2) {
-		t.Fatalf("restart served different bytes:\n%s\nvs\n%s", body1, body2)
-	}
-	ctr := m2.Counters()
-	if ctr.DiskHits != 1 {
-		t.Fatalf("disk hits %d, want 1: %+v", ctr.DiskHits, ctr)
-	}
-	if ctr.Computed != 0 || ctr.Started != 0 {
-		t.Fatalf("restart recomputed: %+v", ctr)
-	}
-	// The promoted body now also answers from memory.
-	j3, err := m2.Submit(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	<-j3.Finished()
-	if got := m2.Counters(); got.CacheHits != 1 {
-		t.Fatalf("promotion did not warm the memory LRU: %+v", got)
-	}
-}
-
-// TestManagerRecomputesAfterCorruption covers the serving-level half of the
-// corruption story: a damaged artifact is quarantined and the submission
-// falls through to a fresh, correct computation.
-func TestManagerRecomputesAfterCorruption(t *testing.T) {
-	dir := t.TempDir()
-	spec := normalized(t, 6, 777)
-
-	m1 := newManager(t, Options{Workers: 2, ArtifactDir: dir})
-	j1, err := m1.Submit(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	<-j1.Finished()
-	body1, _ := j1.Results()
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	if err := m1.Shutdown(ctx); err != nil {
-		t.Fatal(err)
-	}
-
-	// Flip a bit in the stored body.
-	key := Key{SpecHash: spec.Hash(), Seed: spec.Seed}
-	path := filepath.Join(dir, artifactFileName(key))
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	data[len(data)-2] ^= 0x20
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		t.Fatal(err)
-	}
-
-	m2 := newManager(t, Options{Workers: 2, ArtifactDir: dir})
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := m2.Shutdown(ctx); err != nil {
-			t.Fatal(err)
-		}
-	}()
-	j2, err := m2.Submit(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	<-j2.Finished()
-	st := j2.Status()
-	if st.State != Done {
-		t.Fatalf("recompute ended %s: %s", st.State, st.Error)
-	}
-	if st.CacheHit {
-		t.Fatal("corrupt artifact was served as a cache hit")
-	}
-	body2, _ := j2.Results()
-	if !bytes.Equal(body1, body2) {
-		t.Fatal("recompute after corruption produced different bytes")
-	}
-	ctr := m2.Counters()
-	if ctr.Computed != 1 || ctr.DiskHits != 0 {
-		t.Fatalf("corruption path counters: %+v", ctr)
-	}
-	if ds := m2.Disk().Stats(); ds.Quarantined != 1 {
-		t.Fatalf("quarantined %d, want 1: %+v", ds.Quarantined, ds)
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("directory not clean after WriteAtomic: %d entries", len(ents))
 	}
 }
 

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package store
+
+// fileLock degrades to a no-op on platforms without flock(2): the store
+// keeps its single-process guarantees (atomic renames, checksummed reads)
+// and loses only the cross-process mutation serialization.
+type fileLock struct{}
+
+func openFileLock(path string) (*fileLock, error) { return nil, nil }
+
+func (l *fileLock) Lock()   {}
+func (l *fileLock) Unlock() {}

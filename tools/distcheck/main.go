@@ -1,0 +1,190 @@
+// Command distcheck is the make dist-check smoke driver for the distributed
+// execution layer: it launches two real lscatter-worker processes sharing
+// one artifact directory, runs a sharded `lscatter-bench -all` sweep against
+// them, and proves the two distribution invariants end to end:
+//
+//  1. Identical output: the sharded sweep's stdout is byte-identical to the
+//     local in-process sweep's — the determinism contract survives the wire.
+//  2. Zero duplicate computes: summing /statsz across the workers, every
+//     artifact computed exactly once (hash-sharding partitions the registry
+//     into disjoint per-worker subsets; the shared store would absorb any
+//     re-dispatch race, but with both workers alive none may occur).
+//
+// Usage: distcheck -bench bin/lscatter-bench -worker bin/lscatter-worker
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+func main() {
+	bench := flag.String("bench", "bin/lscatter-bench", "path to the lscatter-bench binary")
+	worker := flag.String("worker", "bin/lscatter-worker", "path to the lscatter-worker binary")
+	seed := flag.String("seed", "1", "sweep seed")
+	flag.Parse()
+	if err := run(*bench, *worker, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "distcheck: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("distcheck: OK")
+}
+
+// shard is one launched lscatter-worker process plus its base URL.
+type shard struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// launch starts a worker on an ephemeral port over dir and waits for its
+// health endpoint.
+func launch(worker, dir string) (*shard, error) {
+	cmd := exec.Command(worker, "-addr", "127.0.0.1:0", "-artifact-dir", dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	// The worker prints its bound base URL as the first stdout line.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		_ = cmd.Process.Kill()
+		return nil, fmt.Errorf("worker exited before printing its address")
+	}
+	s := &shard{cmd: cmd, base: strings.TrimSpace(sc.Text())}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(s.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return s, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			return nil, fmt.Errorf("worker %s never became healthy: %v", s.base, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (s *shard) stop() {
+	_ = s.cmd.Process.Kill()
+	_, _ = s.cmd.Process.Wait()
+}
+
+// workerStats mirrors exec.WorkerStats on the wire.
+type workerStats struct {
+	Served   uint64 `json:"served"`
+	Errors   uint64 `json:"errors"`
+	Computed uint64 `json:"computed"`
+	Restored uint64 `json:"restored"`
+}
+
+func (s *shard) stats() (workerStats, error) {
+	var st workerStats
+	resp, err := http.Get(s.base + "/statsz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("statsz: %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// sweep runs one `lscatter-bench -all` and returns its stdout.
+func sweep(bench, seed string, extra ...string) ([]byte, error) {
+	args := append([]string{"-all", "-seed", seed, "-parallel", "4"}, extra...)
+	cmd := exec.Command(bench, args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("%s %s: %w", bench, strings.Join(args, " "), err)
+	}
+	return out.Bytes(), nil
+}
+
+func run(bench, worker, seed string) error {
+	dir, err := os.MkdirTemp("", "distcheck-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// The registry size, from the binary itself so the check cannot drift.
+	list := exec.Command(bench, "-list")
+	var ids bytes.Buffer
+	list.Stdout = &ids
+	list.Stderr = os.Stderr
+	if err := list.Run(); err != nil {
+		return fmt.Errorf("listing artifacts: %w", err)
+	}
+	n := uint64(len(strings.Fields(ids.String())))
+	if n == 0 {
+		return fmt.Errorf("artifact registry is empty")
+	}
+
+	w1, err := launch(worker, dir)
+	if err != nil {
+		return err
+	}
+	defer w1.stop()
+	w2, err := launch(worker, dir)
+	if err != nil {
+		return err
+	}
+	defer w2.stop()
+	fmt.Printf("distcheck: workers %s %s over %s\n", w1.base, w2.base, dir)
+
+	local, err := sweep(bench, seed)
+	if err != nil {
+		return fmt.Errorf("local sweep: %w", err)
+	}
+	sharded, err := sweep(bench, seed, "-shard-workers", w1.base+","+w2.base)
+	if err != nil {
+		return fmt.Errorf("sharded sweep: %w", err)
+	}
+
+	if !bytes.Equal(local, sharded) {
+		return fmt.Errorf("sharded sweep output differs from local (%d vs %d bytes)", len(local), len(sharded))
+	}
+	st1, err := w1.stats()
+	if err != nil {
+		return err
+	}
+	st2, err := w2.stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("distcheck: worker stats %+v %+v (registry %d)\n", st1, st2, n)
+	if st1.Errors != 0 || st2.Errors != 0 {
+		return fmt.Errorf("worker errors: %d + %d", st1.Errors, st2.Errors)
+	}
+	if got := st1.Computed + st2.Computed; got != n {
+		return fmt.Errorf("computed %d artifacts across workers, want exactly %d (duplicates or gaps)", got, n)
+	}
+	if st1.Restored+st2.Restored != 0 {
+		return fmt.Errorf("restored %d artifacts on a cold store, want 0", st1.Restored+st2.Restored)
+	}
+	if st1.Computed == 0 || st2.Computed == 0 {
+		return fmt.Errorf("sharding did not spread work: %d vs %d computes", st1.Computed, st2.Computed)
+	}
+	fmt.Printf("distcheck: sharded output byte-identical (%d bytes), %d+%d computes, 0 duplicates\n",
+		len(sharded), st1.Computed, st2.Computed)
+	return nil
+}
